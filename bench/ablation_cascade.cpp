@@ -1,0 +1,58 @@
+//===- bench/ablation_cascade.cpp - Cascade depth ablation ----------------===//
+//
+// Ablation for the cascade itself (Section 4 notes One-Level Flow "can
+// be cascaded between Steensgaard and Andersen"): compare
+//   (a) Steensgaard partitions only,
+//   (b) Steensgaard -> Andersen (the paper's default),
+//   (c) Steensgaard -> One-Level Flow -> Andersen.
+//
+// Usage: ablation_cascade [scale] (default 0.3)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/BootstrapDriver.h"
+
+#include <cstdio>
+
+using namespace bsaa;
+using namespace bsaa::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv, 0.2);
+
+  for (const char *Name : {"autofs", "clamd"}) {
+    workload::SuiteEntry Entry = workload::suiteEntry(Name, Scale);
+    std::unique_ptr<ir::Program> P = compileEntry(Entry);
+    std::printf("\n%s (scale %.2f, %u pointers)\n", Name, Scale,
+                P->numPointers());
+    std::printf("  %-28s %9s %6s %12s %12s\n", "cascade", "#clusters",
+                "max", "refine-time", "fscs-sim-par");
+
+    struct Config {
+      const char *Label;
+      uint32_t Threshold;
+      bool OneFlow;
+    };
+    const Config Configs[] = {
+        {"steensgaard only", UINT32_MAX, false},
+        {"steensgaard->andersen", 60, false},
+        {"steens->oneflow->andersen", 60, true},
+    };
+    for (const Config &C : Configs) {
+      core::BootstrapOptions Opts;
+      Opts.AndersenThreshold = C.Threshold;
+      Opts.UseOneFlow = C.OneFlow;
+      Opts.EngineOpts.StepBudget = 50000;
+      core::BootstrapDriver Driver(*P, Opts);
+      core::BootstrapResult R = Driver.runAll();
+      std::printf("  %-28s %9u %6u %12.3f %12s\n", C.Label, R.NumClusters,
+                  R.MaxClusterSize,
+                  R.AndersenClusteringSeconds + R.OneFlowSeconds,
+                  formatSeconds(R.SimulatedParallelSeconds, R.AnyBudgetHit)
+                      .c_str());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench/ablation_pathsens.cpp - Section 3 extension demo -------------===//
+//
+// Demonstrates the paper's path-sensitivity extension: tracking branch
+// predicates as BDDs "weeds out infeasible paths and hence bogus
+// summary tuples". Runs the path-insensitive engine and the
+// path-sensitive walker on programs with increasing numbers of
+// correlated branch pairs and reports how many spurious origins the
+// extension removes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "analysis/Steensgaard.h"
+#include "core/AliasCover.h"
+#include "fscs/ClusterAliasAnalysis.h"
+#include "fscs/PathSensitivity.h"
+#include "ir/CallGraph.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+using namespace bsaa;
+
+namespace {
+
+/// Builds a chain of N correlated branch pairs: each pair tests the
+/// same predicate twice, so half of the flow-sensitive origins are
+/// infeasible.
+std::string correlatedProgram(int Pairs) {
+  std::ostringstream OS;
+  OS << "void main(void) {\n";
+  OS << "  int c; int d;\n";
+  for (int I = 0; I < Pairs; ++I)
+    OS << "  int a" << I << "; int b" << I << "; int o" << I
+       << "; int *x" << I << "; int *y" << I << ";\n";
+  for (int I = 0; I < Pairs; ++I) {
+    OS << "  if (c == d) { x" << I << " = &a" << I << "; } else { x" << I
+       << " = &b" << I << "; }\n";
+    OS << "  if (c == d) { y" << I << " = x" << I << "; } else { y" << I
+       << " = &o" << I << "; }\n";
+  }
+  OS << "  here: c = c;\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Path-sensitivity extension: origins of each y_i at the "
+              "end, path-insensitive vs. BDD-pruned\n");
+  std::printf("  %6s %18s %16s %14s\n", "pairs", "insensitive-origins",
+              "pruned-origins", "paths-pruned");
+
+  for (int Pairs : {1, 2, 4, 8}) {
+    frontend::Diagnostics Diags;
+    auto P = frontend::compileString(correlatedProgram(Pairs), Diags);
+    if (!P) {
+      std::fprintf(stderr, "%s", Diags.toString().c_str());
+      return 1;
+    }
+    ir::CallGraph CG(*P);
+    analysis::SteensgaardAnalysis S(*P);
+    S.run();
+    core::Cluster Whole = core::wholeProgramCluster(*P);
+    fscs::ClusterAliasAnalysis Insensitive(*P, CG, S, Whole);
+    fscs::PathSensitiveOrigins Sensitive(*P);
+
+    ir::LocId Here = P->findLabel("here");
+    uint64_t InsensitiveOrigins = 0, PrunedOrigins = 0, PrunedPaths = 0;
+    for (int I = 0; I < Pairs; ++I) {
+      ir::VarId Y =
+          P->findVariable("main::y" + std::to_string(I));
+      InsensitiveOrigins +=
+          Insensitive.pointsTo(Y, Here).Objects.size() +
+          0; // objects only; unresolved (&o) origins resolve too
+      auto R = Sensitive.originsBefore(Here, ir::Ref::direct(Y));
+      PrunedOrigins += R.Origins.size();
+      PrunedPaths += R.PrunedPaths;
+    }
+    std::printf("  %6d %18lu %16lu %14lu\n", Pairs,
+                (unsigned long)InsensitiveOrigins,
+                (unsigned long)PrunedOrigins,
+                (unsigned long)PrunedPaths);
+  }
+  std::printf("\nexpected: the path-insensitive engine reports 3 origins "
+              "per pair (a_i, b_i, o_i); the extension prunes the "
+              "infeasible b_i, leaving 2.\n");
+  return 0;
+}

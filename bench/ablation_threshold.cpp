@@ -1,0 +1,56 @@
+//===- bench/ablation_threshold.cpp - Andersen threshold sweep ------------===//
+//
+// Ablation for the paper's empirically chosen Andersen threshold of 60
+// (Section 2.1: "This threshold can be determined empirically. For our
+// benchmark suite it turned out to be 60."). Sweeps the threshold over
+// two contrasting workloads:
+//  * sendmail-like (little cluster overlap): low thresholds pay off;
+//  * mt-daapd-like (heavy overlap): Andersen clustering buys little and
+//    its own cost plus extra clusters can make things worse -- the
+//    paper's threefold-slowdown anecdote.
+//
+// Usage: ablation_threshold [scale] (default 0.25)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/BootstrapDriver.h"
+
+#include <cstdio>
+
+using namespace bsaa;
+using namespace bsaa::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv, 0.2);
+  const uint32_t Thresholds[] = {0, 15, 30, 60, 120, UINT32_MAX};
+
+  for (const char *Name : {"sendmail", "mt-daapd"}) {
+    workload::SuiteEntry Entry = workload::suiteEntry(Name, Scale);
+    std::unique_ptr<ir::Program> P = compileEntry(Entry);
+    std::printf("\n%s (scale %.2f, %u pointers)\n", Name, Scale,
+                P->numPointers());
+    std::printf("  %10s %9s %6s %12s %12s %10s\n", "threshold", "#clusters",
+                "max", "cluster-time", "total-fscs", "sim-par-5");
+
+    for (uint32_t T : Thresholds) {
+      core::BootstrapOptions Opts;
+      Opts.AndersenThreshold = T;
+      Opts.EngineOpts.StepBudget = 50000;
+      core::BootstrapDriver Driver(*P, Opts);
+      core::BootstrapResult R = Driver.runAll();
+      char TBuf[16];
+      if (T == UINT32_MAX)
+        std::snprintf(TBuf, sizeof(TBuf), "off");
+      else
+        std::snprintf(TBuf, sizeof(TBuf), "%u", T);
+      std::printf("  %10s %9u %6u %12.3f %12s %10s\n", TBuf, R.NumClusters,
+                  R.MaxClusterSize, R.AndersenClusteringSeconds,
+                  formatSeconds(R.TotalFscsSeconds, R.AnyBudgetHit).c_str(),
+                  formatSeconds(R.SimulatedParallelSeconds, R.AnyBudgetHit)
+                      .c_str());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

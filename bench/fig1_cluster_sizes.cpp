@@ -1,0 +1,72 @@
+//===- bench/fig1_cluster_sizes.cpp - Figure 1 reproduction ---------------===//
+//
+// Regenerates the paper's Figure 1: the frequency of each cluster size
+// for the autofs workload, Steensgaard partitions vs. Andersen
+// clusters. The shape to check: a dense mass of small clusters for
+// both, with the maximum Steensgaard partition far to the right of the
+// maximum Andersen cluster.
+//
+// Usage: fig1_cluster_sizes [scale] (default 1.0)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/BootstrapDriver.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace bsaa;
+using namespace bsaa::bench;
+
+namespace {
+
+std::map<uint32_t, uint32_t>
+sizeHistogram(const ir::Program &P, const std::vector<core::Cluster> &Cs) {
+  std::map<uint32_t, uint32_t> Hist;
+  for (const core::Cluster &C : Cs) {
+    uint32_t N = C.pointerCount(P);
+    if (N > 0)
+      ++Hist[N];
+  }
+  return Hist;
+}
+
+void printSeries(const char *Name,
+                 const std::map<uint32_t, uint32_t> &Hist) {
+  std::printf("\n%s (cluster size -> frequency):\n", Name);
+  uint32_t Max = 0;
+  for (auto [Size, Freq] : Hist) {
+    std::printf("  %5u %6u\n", Size, Freq);
+    Max = Size;
+  }
+  std::printf("  max cluster size: %u\n", Max);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Scale = scaleFromArgs(Argc, Argv, 0.5);
+  workload::SuiteEntry Entry = workload::suiteEntry("autofs", Scale);
+  std::unique_ptr<ir::Program> P = compileEntry(Entry);
+
+  std::printf("Figure 1: cluster size frequencies for autofs, "
+              "Steensgaard vs. Andersen (scale %.2f, %u pointers)\n",
+              Scale, P->numPointers());
+
+  // Steensgaard partitions.
+  core::BootstrapOptions SteensOpts;
+  SteensOpts.AndersenThreshold = UINT32_MAX;
+  core::BootstrapDriver SteensDriver(*P, SteensOpts);
+  std::vector<core::Cluster> Partitions = SteensDriver.buildCover();
+  printSeries("Steensgaard partitions", sizeHistogram(*P, Partitions));
+
+  // Andersen clusters (threshold 0: split every partition, which is
+  // what the figure plots).
+  core::BootstrapOptions AndOpts;
+  AndOpts.AndersenThreshold = 0;
+  core::BootstrapDriver AndDriver(*P, AndOpts);
+  std::vector<core::Cluster> Clusters = AndDriver.buildCover();
+  printSeries("Andersen clusters", sizeHistogram(*P, Clusters));
+  return 0;
+}

@@ -1,0 +1,200 @@
+//===- bench/micro_analyses.cpp - google-benchmark micro suite ------------===//
+//
+// Microbenchmarks for the individual machinery: baseline analysis
+// scaling (Steensgaard near-linear vs. Andersen superlinear), Andersen
+// cycle elimination on/off, Algorithm-1 slicing cost, per-cluster FSCS
+// queries, and the support containers (sparse bit vector, union-find,
+// BDD).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Andersen.h"
+#include "analysis/OneLevelFlow.h"
+#include "analysis/Steensgaard.h"
+#include "bdd/Bdd.h"
+#include "core/RelevantStatements.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "fscs/ClusterAliasAnalysis.h"
+#include "ir/CallGraph.h"
+#include "support/SparseBitVector.h"
+#include "support/UnionFind.h"
+#include "workload/ProgramGenerator.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+
+using namespace bsaa;
+
+namespace {
+
+/// One cached program per size so generation/parsing stays outside the
+/// measured region.
+const ir::Program &programOfSize(int64_t Functions) {
+  static std::map<int64_t, std::unique_ptr<ir::Program>> Cache;
+  auto It = Cache.find(Functions);
+  if (It == Cache.end()) {
+    workload::GeneratorConfig Cfg;
+    Cfg.Seed = 42;
+    Cfg.NumFunctions = static_cast<uint32_t>(Functions);
+    Cfg.Communities = std::max<uint32_t>(2, uint32_t(Functions / 4));
+    frontend::Diagnostics Diags;
+    auto P = frontend::compileString(workload::generateProgram(Cfg), Diags);
+    if (!P)
+      std::abort();
+    It = Cache.emplace(Functions, std::move(P)).first;
+  }
+  return *It->second;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Baseline analyses
+//===--------------------------------------------------------------------===//
+
+static void BM_Steensgaard(benchmark::State &State) {
+  const ir::Program &P = programOfSize(State.range(0));
+  for (auto _ : State) {
+    analysis::SteensgaardAnalysis S(P);
+    S.run();
+    benchmark::DoNotOptimize(S.numPartitions());
+  }
+  State.SetLabel(std::to_string(P.numPointers()) + " pointers");
+}
+BENCHMARK(BM_Steensgaard)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_Andersen(benchmark::State &State) {
+  const ir::Program &P = programOfSize(State.range(0));
+  for (auto _ : State) {
+    analysis::AndersenAnalysis A(P);
+    A.run();
+    benchmark::DoNotOptimize(A.iterations());
+  }
+  State.SetLabel(std::to_string(P.numPointers()) + " pointers");
+}
+BENCHMARK(BM_Andersen)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_AndersenNoCycleElim(benchmark::State &State) {
+  const ir::Program &P = programOfSize(State.range(0));
+  analysis::AndersenAnalysis::Options Opts;
+  Opts.CycleElimination = false;
+  for (auto _ : State) {
+    analysis::AndersenAnalysis A(P, Opts);
+    A.run();
+    benchmark::DoNotOptimize(A.iterations());
+  }
+}
+BENCHMARK(BM_AndersenNoCycleElim)->Arg(64)->Arg(256);
+
+static void BM_OneLevelFlow(benchmark::State &State) {
+  const ir::Program &P = programOfSize(State.range(0));
+  for (auto _ : State) {
+    analysis::OneLevelFlow F(P);
+    F.run();
+    benchmark::DoNotOptimize(F.rounds());
+  }
+}
+BENCHMARK(BM_OneLevelFlow)->Arg(16)->Arg(64)->Arg(256);
+
+//===--------------------------------------------------------------------===//
+// Algorithm 1 and per-cluster FSCS
+//===--------------------------------------------------------------------===//
+
+static void BM_RelevantStatements(benchmark::State &State) {
+  const ir::Program &P = programOfSize(State.range(0));
+  analysis::SteensgaardAnalysis S(P);
+  S.run();
+  core::SliceIndex Index(P, S);
+  // Slice the largest partition.
+  uint32_t Best = 0, BestSize = 0;
+  for (uint32_t Part = 0; Part < S.numPartitions(); ++Part)
+    if (S.partitionPointerCount(Part) > BestSize) {
+      Best = Part;
+      BestSize = S.partitionPointerCount(Part);
+    }
+  for (auto _ : State) {
+    core::RelevantSlice Slice = core::computeRelevantStatements(
+        P, S, S.partitionMembers(Best), Index);
+    benchmark::DoNotOptimize(Slice.Statements.size());
+  }
+  State.SetLabel("partition of " + std::to_string(BestSize) + " pointers");
+}
+BENCHMARK(BM_RelevantStatements)->Arg(64)->Arg(256);
+
+static void BM_FscsClusterQuery(benchmark::State &State) {
+  const ir::Program &P = programOfSize(State.range(0));
+  static std::map<int64_t, std::unique_ptr<ir::CallGraph>> CGs;
+  if (!CGs.count(State.range(0)))
+    CGs[State.range(0)] = std::make_unique<ir::CallGraph>(P);
+  analysis::SteensgaardAnalysis S(P);
+  S.run();
+  core::SliceIndex Index(P, S);
+  uint32_t Best = 0, BestSize = 0;
+  for (uint32_t Part = 0; Part < S.numPartitions(); ++Part)
+    if (S.partitionPointerCount(Part) > BestSize) {
+      Best = Part;
+      BestSize = S.partitionPointerCount(Part);
+    }
+  core::Cluster C;
+  C.Members = S.partitionMembers(Best);
+  core::attachRelevantSlice(P, S, C, Index);
+  ir::VarId Query = ir::InvalidVar;
+  for (ir::VarId V : C.Members)
+    if (P.var(V).isPointer())
+      Query = V;
+  ir::LocId At = P.func(P.entryFunction()).Exit;
+
+  for (auto _ : State) {
+    fscs::ClusterAliasAnalysis AA(P, *CGs[State.range(0)], S, C);
+    auto R = AA.pointsTo(Query, At);
+    benchmark::DoNotOptimize(R.Objects.size());
+  }
+}
+BENCHMARK(BM_FscsClusterQuery)->Arg(16)->Arg(64);
+
+//===--------------------------------------------------------------------===//
+// Support containers
+//===--------------------------------------------------------------------===//
+
+static void BM_SparseBitVectorUnion(benchmark::State &State) {
+  std::mt19937 Rng(1);
+  std::vector<SparseBitVector> Sets(64);
+  for (SparseBitVector &S : Sets)
+    for (int I = 0; I < State.range(0); ++I)
+      S.set(Rng() % 100000);
+  for (auto _ : State) {
+    SparseBitVector Acc;
+    for (const SparseBitVector &S : Sets)
+      Acc.unionWith(S);
+    benchmark::DoNotOptimize(Acc.count());
+  }
+}
+BENCHMARK(BM_SparseBitVectorUnion)->Arg(16)->Arg(256)->Arg(4096);
+
+static void BM_UnionFind(benchmark::State &State) {
+  std::mt19937 Rng(2);
+  uint32_t N = static_cast<uint32_t>(State.range(0));
+  for (auto _ : State) {
+    UnionFind UF(N);
+    for (uint32_t I = 0; I < N; ++I)
+      UF.unite(Rng() % N, Rng() % N);
+    benchmark::DoNotOptimize(UF.numSets());
+  }
+}
+BENCHMARK(BM_UnionFind)->Arg(1024)->Arg(65536);
+
+static void BM_BddConjunction(benchmark::State &State) {
+  for (auto _ : State) {
+    bdd::BddManager M;
+    bdd::BddRef F = bdd::BddTrue;
+    for (int I = 0; I < State.range(0); ++I)
+      F = M.bddAnd(F, I % 3 ? M.var(I) : M.nvar(I));
+    benchmark::DoNotOptimize(M.satCount(F, uint32_t(State.range(0))));
+  }
+}
+BENCHMARK(BM_BddConjunction)->Arg(16)->Arg(48);
+
+BENCHMARK_MAIN();

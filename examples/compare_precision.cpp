@@ -1,0 +1,91 @@
+//===- examples/compare_precision.cpp - The precision ladder --------------===//
+//
+// Compares the alias verdicts of every analysis in the cascade on one
+// program where each rung of the ladder matters:
+//
+//   Steensgaard  (bidirectional unification)
+//     > One-Level Flow  (directional top level)
+//       > Andersen  (inclusion-based)
+//         > FSCS  (flow- and context-sensitive summaries)
+//
+// Build and run:  ./build/examples/compare_precision
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasQueries.h"
+#include "analysis/Andersen.h"
+#include "analysis/OneLevelFlow.h"
+#include "analysis/Steensgaard.h"
+#include "core/AliasCover.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "fscs/ClusterAliasAnalysis.h"
+#include "ir/CallGraph.h"
+
+#include <cstdio>
+
+using namespace bsaa;
+
+int main() {
+  const char *Src = R"(
+    void main(void) {
+      int a; int b; int c;
+      int *p; int *q; int *r; int *s;
+      p = &a;
+      q = &b;
+      r = &c;
+      s = p;       // s ~ p (all analyses agree)
+      s = q;       // bidirectional unification also fuses p with q
+      r = s;       // flow-insensitive analyses think r may be a or b
+      r = &c;      // ...but flow-sensitively r is c again
+      here: r = r;
+    }
+  )";
+  frontend::Diagnostics Diags;
+  std::unique_ptr<ir::Program> P = frontend::compileString(Src, Diags);
+  if (!P) {
+    std::fprintf(stderr, "compile failed:\n%s", Diags.toString().c_str());
+    return 1;
+  }
+
+  analysis::SteensgaardAnalysis Steens(*P);
+  Steens.run();
+  analysis::OneLevelFlow OneFlow(*P);
+  OneFlow.run();
+  analysis::AndersenAnalysis Andersen(*P);
+  Andersen.run();
+  ir::CallGraph CG(*P);
+  core::Cluster Whole = core::wholeProgramCluster(*P);
+  fscs::ClusterAliasAnalysis Fscs(*P, CG, Steens, Whole);
+  ir::LocId Here = P->findLabel("here");
+
+  auto Var = [&P](const char *N) {
+    return P->findVariable(std::string("main::") + N);
+  };
+  const char *Names[] = {"p", "q", "r", "s"};
+
+  std::printf("may-alias verdicts (at label 'here' for FSCS):\n");
+  std::printf("  %-8s %12s %12s %10s %6s\n", "pair", "steensgaard",
+              "one-flow", "andersen", "fscs");
+  for (int I = 0; I < 4; ++I) {
+    for (int J = I + 1; J < 4; ++J) {
+      ir::VarId A = Var(Names[I]), B = Var(Names[J]);
+      std::printf("  %s,%-6s %12s %12s %10s %6s\n", Names[I], Names[J],
+                  Steens.mayAlias(A, B) ? "yes" : "no",
+                  OneFlow.mayAlias(A, B) ? "yes" : "no",
+                  Andersen.mayAlias(A, B) ? "yes" : "no",
+                  Fscs.mayAlias(A, B, Here) ? "yes" : "no");
+    }
+  }
+
+  std::printf("\nalias-pair totals over all pointers: steensgaard %lu, "
+              "one-flow %lu, andersen %lu\n",
+              (unsigned long)analysis::countMayAliasPairs(*P, Steens),
+              (unsigned long)analysis::countMayAliasPairs(*P, OneFlow),
+              (unsigned long)analysis::countMayAliasPairs(*P, Andersen));
+  std::printf("\nreading the table: unification fuses p,q,r,s into one "
+              "partition; Andersen separates p from q; only the "
+              "flow-sensitive engine sees that r holds &c again at the "
+              "end.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- examples/quickstart.cpp - Five-minute tour -------------------------===//
+//
+// The shortest path through the public API:
+//   1. compile a mini-C program,
+//   2. run Steensgaard to get partitions,
+//   3. slice one partition with Algorithm 1,
+//   4. ask the flow- and context-sensitive engine for points-to sets
+//      and alias verdicts.
+//
+// Build and run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Steensgaard.h"
+#include "core/AliasCover.h"
+#include "core/RelevantStatements.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "fscs/ClusterAliasAnalysis.h"
+#include "ir/CallGraph.h"
+
+#include <cstdio>
+
+using namespace bsaa;
+
+int main() {
+  // 1. Compile. The dialect is C-like: multi-level pointers, malloc /
+  //    free, structs (flattened), function pointers via fptr_t,
+  //    lock/unlock intrinsics; conditions are nondeterministic.
+  const char *Src = R"(
+    int *shared;
+    int *pick(int *p, int *q) {
+      if (nondet) { return p; }
+      return q;
+    }
+    void main(void) {
+      int a; int b; int c;
+      int *x; int *y; int *z;
+      x = &a;
+      y = &b;
+      z = pick(x, y);
+      shared = z;
+      here: z = &c;          // labels give queries an anchor
+    }
+  )";
+  frontend::Diagnostics Diags;
+  std::unique_ptr<ir::Program> P = frontend::compileString(Src, Diags);
+  if (!P) {
+    std::fprintf(stderr, "compile failed:\n%s", Diags.toString().c_str());
+    return 1;
+  }
+  std::printf("compiled: %u variables (%u pointers), %u functions\n",
+              P->numVars(), P->numPointers(), P->numFuncs());
+
+  // 2. Steensgaard partitions: the coarse, almost-linear-time stage.
+  analysis::SteensgaardAnalysis Steens(*P);
+  Steens.run();
+  ir::VarId Z = P->findVariable("main::z");
+  uint32_t Part = Steens.partitionOf(Z);
+  std::printf("\nz's Steensgaard partition (%u members):",
+              uint32_t(Steens.partitionMembers(Part).size()));
+  for (ir::VarId V : Steens.partitionMembers(Part))
+    std::printf(" %s", P->var(V).Name.c_str());
+  std::printf("\n");
+
+  // 3. Slice the partition: only these statements can affect aliases
+  //    of z (Algorithm 1 / Theorem 6).
+  core::Cluster C;
+  C.Members = Steens.partitionMembers(Part);
+  C.SourcePartition = Part;
+  core::attachRelevantSlice(*P, Steens, C);
+  std::printf("relevant statements: %u of %u\n",
+              uint32_t(C.Statements.size()), P->numLocs());
+
+  // 4. Flow- and context-sensitive queries on the cluster.
+  ir::CallGraph CG(*P);
+  fscs::ClusterAliasAnalysis AA(*P, CG, Steens, C);
+  ir::LocId Here = P->findLabel("here");
+
+  auto Pts = AA.pointsTo(Z, Here);
+  std::printf("\npoints-to of z just before 'here':");
+  for (ir::VarId O : Pts.Objects)
+    std::printf(" %s", P->var(O).Name.c_str());
+  std::printf("   (flow-sensitive: c is not yet assigned)\n");
+
+  ir::VarId X = P->findVariable("main::x");
+  ir::VarId Y = P->findVariable("main::y");
+  std::printf("may-alias(z, x) at 'here': %s\n",
+              AA.mayAlias(Z, X, Here) ? "yes" : "no");
+  std::printf("may-alias(z, y) at 'here': %s\n",
+              AA.mayAlias(Z, Y, Here) ? "yes" : "no");
+  std::printf("may-alias(x, y) at 'here': %s   (distinct objects)\n",
+              AA.mayAlias(X, Y, Here) ? "yes" : "no");
+  return 0;
+}

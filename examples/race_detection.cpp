@@ -1,0 +1,89 @@
+//===- examples/race_detection.cpp - The motivating application -----------===//
+//
+// The paper's Section 1 motivation: static data race detection needs
+// must-aliases of lock pointers only, so the bootstrapping framework
+// analyzes just the lock-pointer clusters. This example runs the
+// lockset detector on a small "driver" with one real race and one
+// properly protected access pattern.
+//
+// Build and run:  ./build/examples/race_detection
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "ir/Dumper.h"
+#include "racedetect/RaceDetect.h"
+
+#include <cstdio>
+
+using namespace bsaa;
+
+int main() {
+  const char *Src = R"(
+    lock_t dev_lock;
+    lock_t list_lock;
+    int dev_state;     // Protected by dev_lock everywhere: no race.
+    int list_head;     // One unprotected write: race.
+
+    void update_dev(lock_t *l) {
+      lock(l);
+      dev_state = 1;
+      unlock(l);
+    }
+
+    void update_list(lock_t *l) {
+      lock(l);
+      list_head = 1;
+      unlock(l);
+    }
+
+    void main(void) {
+      lock_t *dl; lock_t *ll; lock_t *alias;
+      dl = &dev_lock;
+      ll = &list_lock;
+      alias = dl;          // Aliased lock pointer: same protection.
+      lock(alias);
+      dev_state = 2;
+      unlock(alias);
+      update_dev(dl);
+      update_list(ll);
+      list_head = 2;       // RACE: no lock held here.
+    }
+  )";
+  frontend::Diagnostics Diags;
+  std::unique_ptr<ir::Program> P = frontend::compileString(Src, Diags);
+  if (!P) {
+    std::fprintf(stderr, "compile failed:\n%s", Diags.toString().c_str());
+    return 1;
+  }
+
+  racedetect::RaceDetector RD(*P);
+  RD.run();
+
+  std::printf("lock clusters analyzed: %u (out of the whole program -- "
+              "the paper's demand-driven flexibility)\n",
+              uint32_t(RD.lockClusters().size()));
+  for (const core::Cluster &C : RD.lockClusters()) {
+    std::printf("  cluster:");
+    for (ir::VarId V : C.Members)
+      std::printf(" %s", P->var(V).Name.c_str());
+    std::printf("  (%u relevant statements)\n",
+                uint32_t(C.Statements.size()));
+  }
+
+  std::printf("\npotential races:\n");
+  for (const racedetect::Race &R : RD.races()) {
+    std::printf("  %s: L%u '%s'  vs  L%u '%s'\n",
+                P->var(R.SharedVar).Name.c_str(), R.First,
+                ir::dumpStatement(*P, R.First).c_str(), R.Second,
+                ir::dumpStatement(*P, R.Second).c_str());
+  }
+  if (RD.races().empty())
+    std::printf("  none\n");
+
+  std::printf("\nexpected: races on list_head only; dev_state accesses "
+              "are all protected by dev_lock (via must-aliased "
+              "pointers).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- analysis/AliasQueries.h - Cross-analysis helpers ---------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by tests, examples, and benches for comparing
+/// the precision of different alias analyses: enumerate pointer
+/// variables, count may-alias pairs, check precision refinement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_ANALYSIS_ALIASQUERIES_H
+#define BSAA_ANALYSIS_ALIASQUERIES_H
+
+#include "ir/Ir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bsaa {
+namespace analysis {
+
+/// All pointer variables of \p P in id order.
+inline std::vector<ir::VarId> pointerVars(const ir::Program &P) {
+  std::vector<ir::VarId> Out;
+  for (ir::VarId V = 0; V < P.numVars(); ++V)
+    if (P.var(V).isPointer())
+      Out.push_back(V);
+  return Out;
+}
+
+/// Counts unordered distinct pointer pairs that \p A reports as
+/// may-aliased. Lower is more precise (for sound analyses).
+template <typename AnalysisT>
+uint64_t countMayAliasPairs(const ir::Program &P, const AnalysisT &A) {
+  std::vector<ir::VarId> Ptrs = pointerVars(P);
+  uint64_t N = 0;
+  for (size_t I = 0; I < Ptrs.size(); ++I)
+    for (size_t J = I + 1; J < Ptrs.size(); ++J)
+      if (A.mayAlias(Ptrs[I], Ptrs[J]))
+        ++N;
+  return N;
+}
+
+/// True if every pair \p Fine aliases is also aliased by \p Coarse
+/// (i.e. Fine refines Coarse). The soundness direction of the paper's
+/// precision ordering: Andersen refines Steensgaard, One-Level Flow sits
+/// in between.
+template <typename FineT, typename CoarseT>
+bool refines(const ir::Program &P, const FineT &Fine,
+             const CoarseT &Coarse) {
+  std::vector<ir::VarId> Ptrs = pointerVars(P);
+  for (size_t I = 0; I < Ptrs.size(); ++I)
+    for (size_t J = I + 1; J < Ptrs.size(); ++J)
+      if (Fine.mayAlias(Ptrs[I], Ptrs[J]) &&
+          !Coarse.mayAlias(Ptrs[I], Ptrs[J]))
+        return false;
+  return true;
+}
+
+} // namespace analysis
+} // namespace bsaa
+
+#endif // BSAA_ANALYSIS_ALIASQUERIES_H

@@ -1,0 +1,208 @@
+//===- analysis/Andersen.cpp - Inclusion-based points-to ------------------===//
+
+#include "analysis/Andersen.h"
+
+#include "support/Scc.h"
+#include "support/Timer.h"
+#include "support/Worklist.h"
+
+#include <cassert>
+
+using namespace bsaa;
+using namespace bsaa::analysis;
+using namespace bsaa::ir;
+
+AndersenAnalysis::AndersenAnalysis(const Program &P)
+    : AndersenAnalysis(P, Options()) {}
+
+AndersenAnalysis::AndersenAnalysis(const Program &P, Options Opts)
+    : Prog(P), Opts(Opts) {}
+
+void AndersenAnalysis::addConstraintsFrom(const std::vector<LocId> &Stmts) {
+  for (LocId L : Stmts) {
+    const Location &Loc = Prog.loc(L);
+    switch (Loc.Kind) {
+    case StmtKind::Copy:
+      addCopyEdge(Loc.Rhs, Loc.Lhs);
+      break;
+    case StmtKind::AddrOf:
+    case StmtKind::Alloc:
+      Pts[Reps.find(Loc.Lhs)].set(Loc.Rhs);
+      break;
+    case StmtKind::Load: {
+      uint32_t Idx = static_cast<uint32_t>(Loads.size());
+      Loads.emplace_back(Loc.Rhs, Loc.Lhs);
+      LoadsAt[Reps.find(Loc.Rhs)].push_back(Idx);
+      break;
+    }
+    case StmtKind::Store: {
+      uint32_t Idx = static_cast<uint32_t>(Stores.size());
+      Stores.emplace_back(Loc.Lhs, Loc.Rhs);
+      StoresAt[Reps.find(Loc.Lhs)].push_back(Idx);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+bool AndersenAnalysis::addCopyEdge(uint32_t From, uint32_t To) {
+  uint32_t F = Reps.find(From), T = Reps.find(To);
+  if (F == T)
+    return false;
+  uint64_t Key = (uint64_t(F) << 32) | T;
+  if (!CopyDedup[F].insert(Key).second)
+    return false;
+  Copy[F].push_back(T);
+  return true;
+}
+
+void AndersenAnalysis::run() {
+  std::vector<LocId> All;
+  All.reserve(Prog.numLocs());
+  for (LocId L = 0; L < Prog.numLocs(); ++L)
+    if (Prog.loc(L).isPointerAssign())
+      All.push_back(L);
+  runOn(All);
+}
+
+void AndersenAnalysis::runOn(const std::vector<LocId> &Stmts) {
+  Timer T;
+  uint32_t N = Prog.numVars();
+  Reps.grow(N);
+  Pts.assign(N, SparseBitVector());
+  Copy.assign(N, {});
+  CopyDedup.assign(N, {});
+  Loads.clear();
+  Stores.clear();
+  LoadsAt.assign(N, {});
+  StoresAt.assign(N, {});
+  Iterations = 0;
+  Collapsed = 0;
+
+  addConstraintsFrom(Stmts);
+  solve();
+  HasRun = true;
+  SolveSeconds = T.seconds();
+}
+
+void AndersenAnalysis::solve() {
+  uint32_t N = Prog.numVars();
+  Worklist WL(N);
+  for (uint32_t V = 0; V < N; ++V)
+    if (Reps.find(V) == V && !Pts[V].empty())
+      WL.push(V);
+
+  uint32_t Period = Opts.CollapsePeriod
+                        ? Opts.CollapsePeriod
+                        : std::max<uint32_t>(4 * N, 4096);
+  uint64_t NextCollapse = Period;
+
+  while (!WL.empty()) {
+    uint32_t V = Reps.find(WL.pop());
+    ++Iterations;
+
+    if (Opts.CycleElimination && Iterations >= NextCollapse) {
+      collapseCycles();
+      NextCollapse = Iterations + Period;
+      V = Reps.find(V);
+    }
+
+    // Complex constraints: each object o now in pts(V) induces copy
+    // edges for loads (o -> x) and stores (y -> o) hanging off V.
+    // Newly inserted edges propagate immediately.
+    const SparseBitVector &PV = Pts[V];
+    for (uint32_t LoadIdx : LoadsAt[V]) {
+      uint32_t X = Reps.find(Loads[LoadIdx].second);
+      PV.forEach([&](uint32_t O) {
+        uint32_t RO = Reps.find(O);
+        if (addCopyEdge(O, X) && RO != Reps.find(X)) {
+          if (Pts[Reps.find(X)].unionWith(Pts[RO]))
+            WL.push(Reps.find(X));
+        }
+      });
+    }
+    for (uint32_t StoreIdx : StoresAt[V]) {
+      uint32_t Y = Reps.find(Stores[StoreIdx].second);
+      PV.forEach([&](uint32_t O) {
+        uint32_t RO = Reps.find(O);
+        if (addCopyEdge(Y, O) && RO != Y) {
+          if (Pts[RO].unionWith(Pts[Y]))
+            WL.push(RO);
+        }
+      });
+    }
+
+    // Simple copy propagation.
+    for (uint32_t To : Copy[V]) {
+      uint32_t RT = Reps.find(To);
+      if (RT == V)
+        continue;
+      if (Pts[RT].unionWith(Pts[V]))
+        WL.push(RT);
+    }
+  }
+}
+
+void AndersenAnalysis::collapseCycles() {
+  uint32_t N = Prog.numVars();
+  // SCC over the copy graph restricted to representatives.
+  SccResult Sccs = computeSccs(
+      N, [this](uint32_t V, const std::function<void(uint32_t)> &Visit) {
+        if (Reps.find(V) != V)
+          return;
+        for (uint32_t To : Copy[V]) {
+          uint32_t RT = Reps.find(To);
+          if (RT != V)
+            Visit(RT);
+        }
+      });
+
+  for (const std::vector<uint32_t> &Component : Sccs.Members) {
+    // Only representative nodes matter; merge multi-node components.
+    std::vector<uint32_t> Nodes;
+    for (uint32_t V : Component)
+      if (Reps.find(V) == V)
+        Nodes.push_back(V);
+    if (Nodes.size() < 2)
+      continue;
+    uint32_t R = Nodes[0];
+    for (size_t I = 1; I < Nodes.size(); ++I) {
+      uint32_t Other = Nodes[I];
+      uint32_t Merged = Reps.unite(R, Other);
+      uint32_t Losing = Merged == R ? Other : R;
+      R = Merged;
+      ++Collapsed;
+      Pts[R].unionWith(Pts[Losing]);
+      for (uint32_t E : Copy[Losing])
+        Copy[R].push_back(E);
+      Copy[Losing].clear();
+      CopyDedup[Losing].clear();
+      for (uint32_t Idx : LoadsAt[Losing])
+        LoadsAt[R].push_back(Idx);
+      LoadsAt[Losing].clear();
+      for (uint32_t Idx : StoresAt[Losing])
+        StoresAt[R].push_back(Idx);
+      StoresAt[Losing].clear();
+    }
+  }
+}
+
+const SparseBitVector &AndersenAnalysis::pointsTo(VarId V) const {
+  assert(HasRun && "query before run()");
+  return Pts[Reps.find(V)];
+}
+
+std::vector<VarId> AndersenAnalysis::pointsToVars(VarId V) const {
+  return pointsTo(V).toVector();
+}
+
+bool AndersenAnalysis::mayAlias(VarId A, VarId B) const {
+  assert(HasRun && "query before run()");
+  if (!Prog.var(A).isPointer() || !Prog.var(B).isPointer())
+    return false;
+  if (A == B)
+    return true;
+  return pointsTo(A).intersects(pointsTo(B));
+}

@@ -1,0 +1,107 @@
+//===- analysis/Andersen.h - Inclusion-based points-to ----------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Andersen's inclusion-based, flow- and context-insensitive points-to
+/// analysis (Andersen 1994), implemented as the usual constraint-graph
+/// worklist solver with optional periodic cycle elimination (collapsing
+/// strongly connected components of copy edges into single nodes).
+///
+/// In the bootstrapping cascade the solver is also run *restricted to the
+/// statement slice of one Steensgaard partition* (runOn), which is what
+/// makes Andersen's analysis scale on programs where a whole-program run
+/// would be too slow: Steensgaard bootstraps Andersen.
+///
+/// Being unidirectional, Andersen points-to sets are not equivalence
+/// classes; the derived *Andersen clusters* -- sets of pointers pointing
+/// to the same object -- form a disjunctive alias cover (Theorem 7) and
+/// are extracted by core/AliasCover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_ANALYSIS_ANDERSEN_H
+#define BSAA_ANALYSIS_ANDERSEN_H
+
+#include "ir/Ir.h"
+#include "support/SparseBitVector.h"
+#include "support/UnionFind.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace bsaa {
+namespace analysis {
+
+/// Inclusion-based points-to solver.
+class AndersenAnalysis {
+public:
+  struct Options {
+    /// Collapse copy-edge SCCs periodically during solving.
+    bool CycleElimination = true;
+    /// Worklist pops between collapse passes (0 picks a default).
+    uint32_t CollapsePeriod = 0;
+  };
+
+  explicit AndersenAnalysis(const ir::Program &P);
+  AndersenAnalysis(const ir::Program &P, Options Opts);
+
+  /// Solves over every statement of the program.
+  void run();
+
+  /// Solves over exactly \p Stmts -- the bootstrapped mode, where
+  /// \p Stmts is the relevant-statement slice of one Steensgaard
+  /// partition (Algorithm 1).
+  void runOn(const std::vector<ir::LocId> &Stmts);
+
+  /// Points-to set of \p V as a bit set over VarIds.
+  const SparseBitVector &pointsTo(ir::VarId V) const;
+
+  /// Points-to set materialized as a sorted vector.
+  std::vector<ir::VarId> pointsToVars(ir::VarId V) const;
+
+  /// May-alias: points-to sets intersect.
+  bool mayAlias(ir::VarId A, ir::VarId B) const;
+
+  /// Worklist pops performed (solver effort metric for ablations).
+  uint64_t iterations() const { return Iterations; }
+
+  /// Copy-edge SCC collapses performed.
+  uint64_t collapsedNodes() const { return Collapsed; }
+
+  /// Wall-clock seconds spent solving.
+  double solveSeconds() const { return SolveSeconds; }
+
+private:
+  void addConstraintsFrom(const std::vector<ir::LocId> &Stmts);
+  bool addCopyEdge(uint32_t From, uint32_t To);
+  void solve();
+  void collapseCycles();
+
+  const ir::Program &Prog;
+  Options Opts;
+
+  /// Node representatives (cycle elimination merges nodes).
+  UnionFind Reps;
+  std::vector<SparseBitVector> Pts;        ///< Keyed by representative.
+  std::vector<std::vector<uint32_t>> Copy; ///< Copy successors (raw ids).
+  std::vector<std::unordered_set<uint64_t>> CopyDedup;
+  /// x = *y pairs (y, x) and *x = y pairs (x, y); raw variable ids.
+  std::vector<std::pair<ir::VarId, ir::VarId>> Loads;
+  std::vector<std::pair<ir::VarId, ir::VarId>> Stores;
+  /// Loads/Stores indexed by their pointer operand's representative.
+  std::vector<std::vector<uint32_t>> LoadsAt;
+  std::vector<std::vector<uint32_t>> StoresAt;
+
+  uint64_t Iterations = 0;
+  uint64_t Collapsed = 0;
+  bool HasRun = false;
+  double SolveSeconds = 0;
+};
+
+} // namespace analysis
+} // namespace bsaa
+
+#endif // BSAA_ANALYSIS_ANDERSEN_H

@@ -1,0 +1,90 @@
+//===- analysis/FlowSensitiveDataflow.h - Monolithic FS baseline *- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic *monolithic* flow-sensitive points-to analysis: an
+/// iterative dataflow fixpoint holding a full points-to map at every
+/// program location, interprocedural by linking call edges (context-
+/// insensitively). This is the style of analysis whose scalability wall
+/// motivates the paper -- its related-work section cites such analyses
+/// handling 4-20 KLOC -- and it serves two roles here:
+///
+///  * an independent reference implementation for validating the
+///    summarization-based engine on small programs (the property tests
+///    check interpreter ⊆ this ⊆ Andersen), and
+///  * the honest "what you would do without bootstrapping" baseline.
+///
+/// Memory is O(locations x pointers): do not run it on the big suite
+/// rows. That is the point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_ANALYSIS_FLOWSENSITIVEDATAFLOW_H
+#define BSAA_ANALYSIS_FLOWSENSITIVEDATAFLOW_H
+
+#include "ir/Ir.h"
+#include "support/SparseBitVector.h"
+
+#include <map>
+#include <vector>
+
+namespace bsaa {
+namespace analysis {
+
+/// Whole-program flow-sensitive, context-insensitive points-to
+/// dataflow.
+class FlowSensitiveDataflow {
+public:
+  explicit FlowSensitiveDataflow(const ir::Program &P);
+
+  /// Runs the fixpoint. \p MaxIterations caps worklist pops (0 =
+  /// unlimited); the cap exists so tools can show the scalability wall
+  /// without hanging.
+  void run(uint64_t MaxIterations = 0);
+
+  /// Objects \p V may point to just before \p Loc executes.
+  const SparseBitVector &pointsTo(ir::VarId V, ir::LocId Loc) const;
+
+  /// May-alias just before \p Loc.
+  bool mayAlias(ir::VarId A, ir::VarId B, ir::LocId Loc) const;
+
+  /// Worklist pops used.
+  uint64_t iterations() const { return Iterations; }
+
+  /// True if the iteration cap fired (results are a sound-but-partial
+  /// under-approximation of the fixpoint; queries then over-report
+  /// nothing but may miss facts -- treat as "did not finish").
+  bool capped() const { return Capped; }
+
+  double solveSeconds() const { return SolveSeconds; }
+
+  /// Approximate state size, for the scalability demonstration.
+  uint64_t stateBits() const;
+
+private:
+  /// Points-to map at a location: only variables with nonempty sets are
+  /// present.
+  using State = std::map<ir::VarId, SparseBitVector>;
+
+  /// Merges \p From into \p Into; returns true on change.
+  static bool merge(State &Into, const State &From);
+  /// Applies \p Loc's transfer to \p S in place.
+  void transfer(const ir::Location &Loc, State &S) const;
+
+  const ir::Program &Prog;
+  std::vector<State> In; ///< Per location.
+  std::vector<uint8_t> Reached;
+  SparseBitVector Empty;
+  uint64_t Iterations = 0;
+  bool Capped = false;
+  bool HasRun = false;
+  double SolveSeconds = 0;
+};
+
+} // namespace analysis
+} // namespace bsaa
+
+#endif // BSAA_ANALYSIS_FLOWSENSITIVEDATAFLOW_H

@@ -1,0 +1,185 @@
+//===- analysis/OneLevelFlow.cpp - Das one-level flow ---------------------===//
+
+#include "analysis/OneLevelFlow.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace bsaa;
+using namespace bsaa::analysis;
+using namespace bsaa::ir;
+
+namespace {
+constexpr uint32_t InvalidCell = UINT32_MAX;
+} // namespace
+
+OneLevelFlow::OneLevelFlow(const Program &P) : Prog(P) {}
+
+uint32_t OneLevelFlow::contentCell(uint32_t Cell) {
+  uint32_t R = Cells.find(Cell);
+  if (Content[R] == InvalidCell) {
+    uint32_t Fresh = Cells.makeSet();
+    Content.push_back(InvalidCell);
+    Content[R] = Fresh;
+  }
+  return Cells.find(Content[R]);
+}
+
+void OneLevelFlow::join(uint32_t A, uint32_t B) {
+  std::vector<std::pair<uint32_t, uint32_t>> Stack{{A, B}};
+  while (!Stack.empty()) {
+    auto [X, Y] = Stack.back();
+    Stack.pop_back();
+    X = Cells.find(X);
+    Y = Cells.find(Y);
+    if (X == Y)
+      continue;
+    uint32_t CX = Content[X], CY = Content[Y];
+    uint32_t R = Cells.unite(X, Y);
+    Content[R] = CX != InvalidCell ? CX : CY;
+    if (CX != InvalidCell && CY != InvalidCell)
+      Stack.push_back({CX, CY});
+  }
+}
+
+bool OneLevelFlow::normalize(SparseBitVector &Set) const {
+  SparseBitVector Out;
+  bool Changed = false;
+  Set.forEach([&](uint32_t C) {
+    uint32_t R = Cells.find(C);
+    if (R != C)
+      Changed = true;
+    Out.set(R);
+  });
+  if (Changed)
+    Set = std::move(Out);
+  return Changed;
+}
+
+void OneLevelFlow::run() {
+  std::vector<LocId> All;
+  All.reserve(Prog.numLocs());
+  for (LocId L = 0; L < Prog.numLocs(); ++L)
+    if (Prog.loc(L).isPointerAssign())
+      All.push_back(L);
+  runOn(All);
+}
+
+void OneLevelFlow::runOn(const std::vector<LocId> &Stmts) {
+  Timer T;
+  uint32_t N = Prog.numVars();
+  Cells.grow(N);
+  Content.assign(N, InvalidCell);
+  Pts.assign(N, SparseBitVector());
+  Copies.clear();
+  Loads.clear();
+  Stores.clear();
+  DerefedCells.clear();
+
+  for (LocId L : Stmts) {
+    const Location &Loc = Prog.loc(L);
+    switch (Loc.Kind) {
+    case StmtKind::Copy:
+      Copies.emplace_back(Loc.Rhs, Loc.Lhs); // Directional: src -> dst.
+      break;
+    case StmtKind::AddrOf:
+    case StmtKind::Alloc:
+      Pts[Loc.Lhs].set(Cells.find(Loc.Rhs));
+      break;
+    case StmtKind::Load:
+      Loads.emplace_back(Loc.Rhs, Loc.Lhs);
+      break;
+    case StmtKind::Store:
+      Stores.emplace_back(Loc.Lhs, Loc.Rhs);
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Round-based fixpoint. Unification below the top level keeps the
+  // lattice short, so the round count stays small in practice.
+  Rounds = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Rounds;
+
+    for (SparseBitVector &Set : Pts)
+      normalize(Set);
+
+    // Directional top level: dst ⊇ src.
+    for (auto [Src, Dst] : Copies)
+      Changed |= Pts[Dst].unionWith(Pts[Src]);
+
+    // x = *y: x inherits the (unified) content cell of every object y
+    // points to.
+    for (auto [Y, X] : Loads) {
+      std::vector<uint32_t> CellsOfY = Pts[Y].toVector();
+      for (uint32_t C : CellsOfY) {
+        DerefedCells.set(Cells.find(C));
+        Changed |= Pts[X].set(contentCell(C));
+      }
+    }
+
+    // *x = y: the content of every object x points to is unified with
+    // every object y points to (this is the "one level" part).
+    for (auto [X, Y] : Stores) {
+      std::vector<uint32_t> CellsOfX = Pts[X].toVector();
+      std::vector<uint32_t> CellsOfY = Pts[Y].toVector();
+      for (uint32_t C : CellsOfX) {
+        uint32_t CC = contentCell(C);
+        DerefedCells.set(Cells.find(C));
+        for (uint32_t D : CellsOfY) {
+          if (Cells.find(CC) != Cells.find(D)) {
+            join(CC, D);
+            Changed = true;
+          }
+        }
+      }
+    }
+
+    // A variable living in a dereferenced cell is read/written through
+    // pointers: directionality ends there. Its top-level points-to set
+    // is unified with the cell's content cell in both directions.
+    normalize(DerefedCells);
+    for (VarId W = 0; W < N; ++W) {
+      uint32_t R = Cells.find(W);
+      if (!DerefedCells.test(R))
+        continue;
+      uint32_t CC = contentCell(R);
+      for (uint32_t E : Pts[W].toVector()) {
+        if (Cells.find(CC) != Cells.find(E)) {
+          join(CC, E);
+          Changed = true;
+        }
+      }
+      Changed |= Pts[W].set(Cells.find(CC));
+    }
+  }
+
+  for (SparseBitVector &Set : Pts)
+    normalize(Set);
+  HasRun = true;
+  SolveSeconds = T.seconds();
+}
+
+std::vector<VarId> OneLevelFlow::pointsToVars(VarId V) const {
+  assert(HasRun && "query before run()");
+  std::vector<VarId> Out;
+  SparseBitVector Targets = Pts[V];
+  for (VarId W = 0; W < Prog.numVars(); ++W)
+    if (Targets.test(Cells.find(W)))
+      Out.push_back(W);
+  return Out;
+}
+
+bool OneLevelFlow::mayAlias(VarId A, VarId B) const {
+  assert(HasRun && "query before run()");
+  if (!Prog.var(A).isPointer() || !Prog.var(B).isPointer())
+    return false;
+  if (A == B)
+    return true;
+  return Pts[A].intersects(Pts[B]);
+}

@@ -1,0 +1,81 @@
+//===- analysis/OneLevelFlow.h - Das one-level flow -------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Das's "unification-based pointer analysis with directional
+/// assignments" (PLDI 2000): the top level of the points-to hierarchy is
+/// propagated directionally along assignment edges (like Andersen),
+/// while everything below the top level is unified (like Steensgaard).
+/// This bridges the precision gulf between the two and is the analysis
+/// the paper suggests can be cascaded *between* Steensgaard and Andersen
+/// in the bootstrapping pipeline (Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_ANALYSIS_ONELEVELFLOW_H
+#define BSAA_ANALYSIS_ONELEVELFLOW_H
+
+#include "ir/Ir.h"
+#include "support/SparseBitVector.h"
+#include "support/UnionFind.h"
+
+#include <vector>
+
+namespace bsaa {
+namespace analysis {
+
+/// One-Level Flow points-to solver.
+class OneLevelFlow {
+public:
+  explicit OneLevelFlow(const ir::Program &P);
+
+  /// Solves over every statement of the program.
+  void run();
+
+  /// Solves over exactly \p Stmts (bootstrapped mode).
+  void runOn(const std::vector<ir::LocId> &Stmts);
+
+  /// Variables \p V may point to (expanding unified object cells).
+  std::vector<ir::VarId> pointsToVars(ir::VarId V) const;
+
+  /// May-alias: normalized top-level points-to sets intersect.
+  bool mayAlias(ir::VarId A, ir::VarId B) const;
+
+  /// Fixpoint rounds taken (effort metric).
+  uint32_t rounds() const { return Rounds; }
+
+  /// Wall-clock seconds spent solving.
+  double solveSeconds() const { return SolveSeconds; }
+
+private:
+  uint32_t contentCell(uint32_t Cell);
+  void join(uint32_t A, uint32_t B);
+  /// Rewrites a points-to set through find(); returns true if changed.
+  bool normalize(SparseBitVector &Set) const;
+
+  const ir::Program &Prog;
+  UnionFind Cells;
+  std::vector<uint32_t> Content; ///< Cell -> content cell (via rep).
+  std::vector<SparseBitVector> Pts;
+
+  std::vector<std::pair<ir::VarId, ir::VarId>> Copies; ///< (src, dst)
+  std::vector<std::pair<ir::VarId, ir::VarId>> Loads;  ///< x = *y: (y, x)
+  std::vector<std::pair<ir::VarId, ir::VarId>> Stores; ///< *x = y: (x, y)
+  /// Cells accessed through a dereference (load or store). A variable
+  /// residing in such a cell loses top-level directionality: its
+  /// points-to set is unified with the cell's content cell -- "one
+  /// level" of flow, unification below.
+  SparseBitVector DerefedCells;
+
+  uint32_t Rounds = 0;
+  bool HasRun = false;
+  double SolveSeconds = 0;
+};
+
+} // namespace analysis
+} // namespace bsaa
+
+#endif // BSAA_ANALYSIS_ONELEVELFLOW_H

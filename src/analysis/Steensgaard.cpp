@@ -1,0 +1,243 @@
+//===- analysis/Steensgaard.cpp - Unification-based points-to -------------===//
+
+#include "analysis/Steensgaard.h"
+
+#include "support/Scc.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace bsaa;
+using namespace bsaa::analysis;
+using namespace bsaa::ir;
+
+namespace {
+constexpr uint32_t InvalidCell = UINT32_MAX;
+} // namespace
+
+SteensgaardAnalysis::SteensgaardAnalysis(const Program &P) : Prog(P) {}
+
+uint32_t SteensgaardAnalysis::pointeeCell(uint32_t Cell) {
+  uint32_t R = Cells.find(Cell);
+  if (Pts[R] == InvalidCell) {
+    uint32_t Fresh = Cells.makeSet();
+    Pts.push_back(InvalidCell);
+    Pts[R] = Fresh;
+  }
+  return Cells.find(Pts[R]);
+}
+
+void SteensgaardAnalysis::join(uint32_t A, uint32_t B) {
+  // Iterative conditional join: unify the cells, then their contents,
+  // and so on. Setting the merged content before descending guarantees
+  // termination on cyclic points-to structure.
+  std::vector<std::pair<uint32_t, uint32_t>> Stack{{A, B}};
+  while (!Stack.empty()) {
+    auto [X, Y] = Stack.back();
+    Stack.pop_back();
+    X = Cells.find(X);
+    Y = Cells.find(Y);
+    if (X == Y)
+      continue;
+    uint32_t CX = Pts[X], CY = Pts[Y];
+    uint32_t R = Cells.unite(X, Y);
+    Pts[R] = CX != InvalidCell ? CX : CY;
+    if (CX != InvalidCell && CY != InvalidCell)
+      Stack.push_back({CX, CY});
+  }
+}
+
+void SteensgaardAnalysis::processStatements() {
+  for (LocId L = 0; L < Prog.numLocs(); ++L) {
+    const Location &Loc = Prog.loc(L);
+    switch (Loc.Kind) {
+    case StmtKind::Copy:
+      // x = y: unify what x and y point to.
+      join(pointeeCell(Loc.Lhs), pointeeCell(Loc.Rhs));
+      break;
+    case StmtKind::AddrOf:
+    case StmtKind::Alloc:
+      // x = &y: y joins x's pointee class.
+      join(pointeeCell(Loc.Lhs), Cells.find(Loc.Rhs));
+      break;
+    case StmtKind::Load: {
+      // x = *y: unify pts(x) with pts(pts(y)).
+      uint32_t PY = pointeeCell(Loc.Rhs);
+      join(pointeeCell(Loc.Lhs), pointeeCell(PY));
+      break;
+    }
+    case StmtKind::Store: {
+      // *x = y: unify pts(pts(x)) with pts(y).
+      uint32_t PX = pointeeCell(Loc.Lhs);
+      join(pointeeCell(PX), pointeeCell(Loc.Rhs));
+      break;
+    }
+    default:
+      // Nullify kills a value (no unification); calls are modeled by
+      // their explicit parameter/return copies; branches/locks are
+      // irrelevant to points-to.
+      break;
+    }
+  }
+}
+
+void SteensgaardAnalysis::buildPartitions() {
+  uint32_t N = Prog.numVars();
+  // Ensure every variable has a content cell so partition keys exist.
+  for (VarId V = 0; V < N; ++V)
+    pointeeCell(V);
+
+  UnionFind PU(N);
+  // (1) Variables unified as locations (jointly pointed-to) are
+  //     partition-mates.
+  std::unordered_map<uint32_t, VarId> FirstInClass;
+  for (VarId V = 0; V < N; ++V) {
+    uint32_t R = Cells.find(V);
+    auto [It, Inserted] = FirstInClass.emplace(R, V);
+    if (!Inserted)
+      PU.unite(It->second, V);
+  }
+  // (2) Variables whose points-to cells were unified may alias, so they
+  //     are partition-mates too.
+  std::unordered_map<uint32_t, VarId> FirstWithKey;
+  for (VarId V = 0; V < N; ++V) {
+    uint32_t Key = Cells.find(Pts[Cells.find(V)]);
+    auto [It, Inserted] = FirstWithKey.emplace(Key, V);
+    if (!Inserted)
+      PU.unite(It->second, V);
+  }
+
+  PartitionId.assign(N, InvalidPartition);
+  Members.clear();
+  std::unordered_map<uint32_t, uint32_t> RootToId;
+  for (VarId V = 0; V < N; ++V) {
+    uint32_t Root = PU.find(V);
+    auto [It, Inserted] = RootToId.emplace(
+        Root, static_cast<uint32_t>(Members.size()));
+    if (Inserted)
+      Members.emplace_back();
+    PartitionId[V] = It->second;
+    Members[It->second].push_back(V);
+  }
+}
+
+void SteensgaardAnalysis::buildHierarchy() {
+  uint32_t NP = numPartitions();
+  Succ.assign(NP, InvalidPartition);
+
+  // Map each location class to one resident variable so we can find the
+  // partition a content class belongs to.
+  std::unordered_map<uint32_t, VarId> ClassVar;
+  for (VarId V = 0; V < Prog.numVars(); ++V)
+    ClassVar.emplace(Cells.find(V), V);
+
+  for (VarId V = 0; V < Prog.numVars(); ++V) {
+    uint32_t Key = Cells.find(Pts[Cells.find(V)]);
+    auto It = ClassVar.find(Key);
+    if (It == ClassVar.end())
+      continue; // Points only at placeholder cells: no variable target.
+    uint32_t From = PartitionId[V];
+    uint32_t To = PartitionId[It->second];
+    assert((Succ[From] == InvalidPartition || Succ[From] == To) &&
+           "Steensgaard partition with out-degree > 1");
+    Succ[From] = To;
+  }
+
+  // Collapse cycles (self-loops or longer) so depth is well-defined.
+  SccResult Sccs = computeSccs(
+      NP, [this](uint32_t P, const std::function<void(uint32_t)> &Visit) {
+        if (Succ[P] != InvalidPartition && Succ[P] != P)
+          Visit(Succ[P]);
+      });
+  HierNode = Sccs.Component;
+
+  GraphWasAcyclic = true;
+  for (uint32_t P = 0; P < NP; ++P) {
+    if (Succ[P] == P || Sccs.inNontrivialScc(P)) {
+      GraphWasAcyclic = false;
+      break;
+    }
+  }
+
+  // Longest path leading to each hierarchy node. Components are numbered
+  // in reverse topological order (edge a->b implies comp(a) > comp(b)),
+  // so scanning components in decreasing order visits sources first.
+  std::vector<uint32_t> NodeDepth(Sccs.numComponents(), 0);
+  for (uint32_t C = Sccs.numComponents(); C-- > 0;) {
+    for (uint32_t P : Sccs.Members[C]) {
+      uint32_t S = Succ[P];
+      if (S == InvalidPartition)
+        continue;
+      uint32_t SC = HierNode[S];
+      if (SC == C)
+        continue; // Intra-cycle edge.
+      if (NodeDepth[C] + 1 > NodeDepth[SC])
+        NodeDepth[SC] = NodeDepth[C] + 1;
+    }
+  }
+  Depth.resize(NP);
+  for (uint32_t P = 0; P < NP; ++P)
+    Depth[P] = NodeDepth[HierNode[P]];
+}
+
+void SteensgaardAnalysis::run() {
+  Timer T;
+  Cells.grow(Prog.numVars());
+  Pts.assign(Prog.numVars(), InvalidCell);
+  processStatements();
+  buildPartitions();
+  buildHierarchy();
+  // Fully compress so that concurrent read-only queries from parallel
+  // per-cluster analyses are race-free.
+  Cells.compressAll();
+  HasRun = true;
+  SolveSeconds = T.seconds();
+}
+
+std::vector<VarId> SteensgaardAnalysis::pointsToVars(VarId V) const {
+  assert(HasRun && "query before run()");
+  std::vector<VarId> Out;
+  uint32_t Key = Cells.find(Pts[Cells.find(V)]);
+  for (VarId W = 0; W < Prog.numVars(); ++W)
+    if (Cells.find(W) == Key)
+      Out.push_back(W);
+  return Out;
+}
+
+bool SteensgaardAnalysis::mayAlias(VarId A, VarId B) const {
+  assert(HasRun && "query before run()");
+  if (!Prog.var(A).isPointer() || !Prog.var(B).isPointer())
+    return false;
+  if (A == B)
+    return true;
+  return Cells.find(Pts[Cells.find(A)]) == Cells.find(Pts[Cells.find(B)]);
+}
+
+uint32_t SteensgaardAnalysis::partitionPointerCount(uint32_t Part) const {
+  uint32_t N = 0;
+  for (VarId V : Members[Part])
+    if (Prog.var(V).isPointer())
+      ++N;
+  return N;
+}
+
+bool SteensgaardAnalysis::higher(VarId P, VarId Q) const {
+  assert(HasRun && "query before run()");
+  uint32_t Start = PartitionId[P];
+  uint32_t TargetNode = HierNode[PartitionId[Q]];
+  if (HierNode[Start] == TargetNode)
+    return false;
+  uint32_t Cur = Succ[Start];
+  // The successor chain visits at most numPartitions partitions; guard
+  // against collapsed cycles by bounding the walk.
+  for (uint32_t Steps = 0; Cur != InvalidPartition && Steps < numPartitions();
+       ++Steps) {
+    if (HierNode[Cur] == TargetNode)
+      return true;
+    if (HierNode[Cur] == HierNode[Start] && Steps > 0)
+      return false; // Walked around a collapsed cycle.
+    Cur = Succ[Cur];
+  }
+  return false;
+}

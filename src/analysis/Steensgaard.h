@@ -1,0 +1,146 @@
+//===- analysis/Steensgaard.h - Unification-based points-to ----*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steensgaard's almost-linear-time unification-based, flow- and context-
+/// insensitive points-to analysis (POPL 1996), extended with the
+/// partition / hierarchy machinery of Section 2.1 of the paper:
+///
+///  * *Steensgaard partitions*: the equivalence classes of pointers the
+///    bootstrapping framework divides the aliasing problem into. Two
+///    variables are in one partition iff they were unified as abstract
+///    locations (jointly pointed-to) or their points-to cells were
+///    unified (they may alias). A pointer can only alias pointers inside
+///    its own partition.
+///  * The *Steensgaard points-to hierarchy*: the graph over partitions
+///    with an edge A -> B when pointers in A may point to objects in B.
+///    Every node has out-degree at most one, and after collapsing
+///    (rare) cycles into single hierarchy nodes the graph is a forest of
+///    DAGs, so *Steensgaard depth* -- the length of the longest path
+///    leading to a partition's node -- is well-defined (the paper's
+///    "Important Remark").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_ANALYSIS_STEENSGAARD_H
+#define BSAA_ANALYSIS_STEENSGAARD_H
+
+#include "ir/Ir.h"
+#include "support/UnionFind.h"
+
+#include <vector>
+
+namespace bsaa {
+namespace analysis {
+
+constexpr uint32_t InvalidPartition = UINT32_MAX;
+
+/// Steensgaard points-to analysis + partition / hierarchy queries.
+class SteensgaardAnalysis {
+public:
+  explicit SteensgaardAnalysis(const ir::Program &P);
+
+  /// Solves the whole program. Must be called before any query.
+  void run();
+
+  //===--------------------------------------------------------------===//
+  // Raw points-to queries
+  //===--------------------------------------------------------------===//
+
+  /// The variables the solver says \p V may point to.
+  std::vector<ir::VarId> pointsToVars(ir::VarId V) const;
+
+  /// True if \p A and \p B may point to a common object (both must be
+  /// pointers for a meaningful answer).
+  bool mayAlias(ir::VarId A, ir::VarId B) const;
+
+  //===--------------------------------------------------------------===//
+  // Partitions (Section 2.1)
+  //===--------------------------------------------------------------===//
+
+  uint32_t numPartitions() const {
+    return static_cast<uint32_t>(Members.size());
+  }
+  uint32_t partitionOf(ir::VarId V) const { return PartitionId[V]; }
+  const std::vector<ir::VarId> &partitionMembers(uint32_t Part) const {
+    return Members[Part];
+  }
+  bool samePartition(ir::VarId A, ir::VarId B) const {
+    return PartitionId[A] == PartitionId[B];
+  }
+
+  /// Number of pointer variables in \p Part (the paper's cluster-size
+  /// metric counts pointers).
+  uint32_t partitionPointerCount(uint32_t Part) const;
+
+  //===--------------------------------------------------------------===//
+  // Hierarchy
+  //===--------------------------------------------------------------===//
+
+  /// The partition that pointers of \p Part point into, or
+  /// InvalidPartition. Out-degree is at most one by construction.
+  uint32_t pointsToPartition(uint32_t Part) const { return Succ[Part]; }
+
+  /// Steensgaard depth of a partition: longest path leading to its
+  /// hierarchy node. All pointers in one partition share a depth.
+  uint32_t depthOfPartition(uint32_t Part) const { return Depth[Part]; }
+  uint32_t depthOf(ir::VarId V) const { return Depth[PartitionId[V]]; }
+
+  /// True if \p P is strictly higher than \p Q in the hierarchy: there
+  /// is a path from P's node to Q's node through distinct hierarchy
+  /// nodes (written p > q in the paper).
+  bool higher(ir::VarId P, ir::VarId Q) const;
+
+  /// True if P and Q share a hierarchy node but not a partition... never
+  /// happens: hierarchy nodes are unions of partitions only when the
+  /// partition graph had a cycle. Exposed for the cyclic-points-to case
+  /// of Algorithm 1 (q = ~q).
+  bool sameHierarchyNode(ir::VarId P, ir::VarId Q) const {
+    return HierNode[PartitionId[P]] == HierNode[PartitionId[Q]];
+  }
+
+  /// Collapsed hierarchy node of a partition (distinct partitions share
+  /// a node only when the raw partition graph had a cycle).
+  uint32_t hierarchyNodeOf(uint32_t Part) const { return HierNode[Part]; }
+
+  /// True if the raw partition graph (before cycle collapsing) was
+  /// acyclic. Expected to always hold for strictly-typed inputs.
+  bool partitionGraphAcyclic() const { return GraphWasAcyclic; }
+
+  /// Wall-clock seconds spent in run().
+  double solveSeconds() const { return SolveSeconds; }
+
+private:
+  /// Content cell of the class of \p Cell, created on demand.
+  uint32_t pointeeCell(uint32_t Cell);
+  /// Unifies two cells and (recursively) their contents.
+  void join(uint32_t A, uint32_t B);
+  void processStatements();
+  void buildPartitions();
+  void buildHierarchy();
+
+  const ir::Program &Prog;
+  /// Union-find universe: [0, numVars) are the variables' cells; cells
+  /// beyond that are placeholder pointee cells.
+  UnionFind Cells;
+  /// Content cell of each cell (consult through find()); InvalidCell if
+  /// not created yet.
+  std::vector<uint32_t> Pts;
+
+  std::vector<uint32_t> PartitionId; ///< Variable -> partition.
+  std::vector<std::vector<ir::VarId>> Members;
+  std::vector<uint32_t> Succ;     ///< Partition -> partition (or Invalid).
+  std::vector<uint32_t> HierNode; ///< Partition -> collapsed node.
+  std::vector<uint32_t> Depth;    ///< Partition -> Steensgaard depth.
+  bool GraphWasAcyclic = true;
+  bool HasRun = false;
+  double SolveSeconds = 0;
+};
+
+} // namespace analysis
+} // namespace bsaa
+
+#endif // BSAA_ANALYSIS_STEENSGAARD_H

@@ -1,0 +1,172 @@
+//===- bdd/Bdd.cpp - Reduced ordered binary decision diagrams -------------===//
+
+#include "bdd/Bdd.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace bsaa;
+using namespace bsaa::bdd;
+
+namespace {
+constexpr uint32_t TerminalVar = UINT32_MAX;
+
+uint64_t tripleKey(uint32_t Var, BddRef Low, BddRef High) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (uint64_t V : {uint64_t(Var), uint64_t(Low), uint64_t(High)}) {
+    H ^= V + 0x9e3779b97f4a7c15ull;
+    H *= 0x100000001b3ull;
+  }
+  // Mix in the raw values to avoid accidental collisions from the weak
+  // hash being used as an exact key.
+  return H ^ (uint64_t(Low) << 40) ^ (uint64_t(High) << 20) ^ Var;
+}
+} // namespace
+
+BddManager::BddManager() {
+  // Terminals: index 0 = false, 1 = true.
+  Nodes.push_back(Node{TerminalVar, 0, 0});
+  Nodes.push_back(Node{TerminalVar, 1, 1});
+}
+
+BddRef BddManager::makeNode(uint32_t Var, BddRef Low, BddRef High) {
+  if (Low == High)
+    return Low; // Reduction rule.
+  uint64_t Key = tripleKey(Var, Low, High);
+  auto It = Unique.find(Key);
+  if (It != Unique.end()) {
+    const Node &N = Nodes[It->second];
+    // Guard against (astronomically unlikely) key collisions.
+    if (N.Var == Var && N.Low == Low && N.High == High)
+      return It->second;
+  }
+  BddRef Ref = static_cast<BddRef>(Nodes.size());
+  Nodes.push_back(Node{Var, Low, High});
+  Unique[Key] = Ref;
+  return Ref;
+}
+
+BddRef BddManager::var(uint32_t Var) {
+  return makeNode(Var, BddFalse, BddTrue);
+}
+
+BddRef BddManager::nvar(uint32_t Var) {
+  return makeNode(Var, BddTrue, BddFalse);
+}
+
+uint32_t BddManager::topVar(BddRef F) const { return Nodes[F].Var; }
+
+BddRef BddManager::cofactor(BddRef F, uint32_t Var, bool Value) const {
+  const Node &N = Nodes[F];
+  if (N.Var != Var)
+    return F; // F does not depend on Var at the root.
+  return Value ? N.High : N.Low;
+}
+
+BddRef BddManager::ite(BddRef F, BddRef G, BddRef H) {
+  // Terminal cases.
+  if (F == BddTrue)
+    return G;
+  if (F == BddFalse)
+    return H;
+  if (G == H)
+    return G;
+  if (G == BddTrue && H == BddFalse)
+    return F;
+
+  uint64_t Key = tripleKey(F, G, H) * 0x9e3779b97f4a7c15ull + 1;
+  auto It = IteCache.find(Key);
+  if (It != IteCache.end())
+    return It->second;
+
+  // Split on the smallest top variable.
+  uint32_t V = topVar(F);
+  if (G > BddTrue && topVar(G) < V)
+    V = topVar(G);
+  if (H > BddTrue && topVar(H) < V)
+    V = topVar(H);
+
+  BddRef High = ite(cofactor(F, V, true), cofactor(G, V, true),
+                    cofactor(H, V, true));
+  BddRef Low = ite(cofactor(F, V, false), cofactor(G, V, false),
+                   cofactor(H, V, false));
+  BddRef R = makeNode(V, Low, High);
+  IteCache[Key] = R;
+  return R;
+}
+
+BddRef BddManager::restrict(BddRef F, uint32_t Var, bool Value) {
+  if (F <= BddTrue)
+    return F;
+  const Node &N = Nodes[F];
+  if (N.Var > Var && N.Var != TerminalVar)
+    return F; // Var is above the root: F does not depend on it.
+  if (N.Var == Var)
+    return restrict(Value ? N.High : N.Low, Var, Value);
+  BddRef Low = restrict(N.Low, Var, Value);
+  BddRef High = restrict(N.High, Var, Value);
+  return makeNode(N.Var, Low, High);
+}
+
+uint64_t BddManager::satCount(BddRef F, uint32_t NumVars) {
+  if (F == BddFalse)
+    return 0;
+  if (F == BddTrue)
+    return uint64_t(1) << NumVars;
+  assert(topVar(F) < NumVars && "node variable outside counting domain");
+  // Variables above the root are free choices.
+  return (uint64_t(1) << topVar(F)) * countFrom(F, NumVars);
+}
+
+uint64_t BddManager::countFrom(BddRef F, uint32_t NumVars) {
+  // Counts assignments of variables in [topVar(F), NumVars) satisfying F
+  // (F is a non-terminal).
+  uint64_t Key = (uint64_t(F) << 16) | NumVars;
+  auto It = CountCache.find(Key);
+  if (It != CountCache.end())
+    return It->second;
+
+  const Node &N = Nodes[F];
+  auto BranchCount = [&](BddRef Child) -> uint64_t {
+    if (Child == BddFalse)
+      return 0;
+    // Variables strictly between N.Var and the child's top are free.
+    uint32_t ChildVar = Child == BddTrue ? NumVars : topVar(Child);
+    uint64_t Free = uint64_t(1) << (ChildVar - N.Var - 1);
+    uint64_t Sub = Child == BddTrue ? 1 : countFrom(Child, NumVars);
+    return Free * Sub;
+  };
+
+  uint64_t Result = BranchCount(N.Low) + BranchCount(N.High);
+  CountCache[Key] = Result;
+  return Result;
+}
+
+std::vector<std::pair<uint32_t, bool>> BddManager::anySat(BddRef F) const {
+  std::vector<std::pair<uint32_t, bool>> Path;
+  if (F == BddFalse)
+    return Path;
+  while (F > BddTrue) {
+    const Node &N = Nodes[F];
+    if (N.High != BddFalse) {
+      Path.emplace_back(N.Var, true);
+      F = N.High;
+    } else {
+      Path.emplace_back(N.Var, false);
+      F = N.Low;
+    }
+  }
+  return Path;
+}
+
+std::string BddManager::toString(BddRef F) const {
+  if (F == BddFalse)
+    return "false";
+  if (F == BddTrue)
+    return "true";
+  const Node &N = Nodes[F];
+  std::ostringstream OS;
+  OS << "(x" << N.Var << " ? " << toString(N.High) << " : "
+     << toString(N.Low) << ")";
+  return OS.str();
+}

@@ -1,0 +1,189 @@
+//===- core/AliasCover.cpp - Disjoint / disjunctive alias covers ----------===//
+
+#include "core/AliasCover.h"
+
+#include "analysis/Andersen.h"
+#include "analysis/Steensgaard.h"
+#include "support/SparseBitVector.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace bsaa;
+using namespace bsaa::core;
+using namespace bsaa::ir;
+
+Cluster bsaa::core::wholeProgramCluster(const Program &P) {
+  Cluster C;
+  C.Members.reserve(P.numVars());
+  for (VarId V = 0; V < P.numVars(); ++V) {
+    C.Members.push_back(V);
+    C.TrackedRefs.push_back(Ref::direct(V));
+    if (P.var(V).isPointer())
+      C.TrackedRefs.push_back(Ref::deref(V));
+  }
+  for (LocId L = 0; L < P.numLocs(); ++L)
+    if (P.loc(L).isPointerAssign())
+      C.Statements.push_back(L);
+  return C;
+}
+
+std::vector<Cluster>
+bsaa::core::steensgaardCover(const Program &,
+                             const analysis::SteensgaardAnalysis &Steens) {
+  std::vector<Cluster> Cover(Steens.numPartitions());
+  for (uint32_t Part = 0; Part < Steens.numPartitions(); ++Part) {
+    Cover[Part].Members = Steens.partitionMembers(Part);
+    Cover[Part].SourcePartition = Part;
+  }
+  // Drop partitions with no members (cannot happen by construction, but
+  // keep the invariant explicit).
+  Cover.erase(std::remove_if(Cover.begin(), Cover.end(),
+                             [](const Cluster &C) {
+                               return C.Members.empty();
+                             }),
+              Cover.end());
+  return Cover;
+}
+
+std::vector<Cluster>
+bsaa::core::andersenClusters(const Program &,
+                             const analysis::AndersenAnalysis &Andersen,
+                             const Cluster &Partition) {
+  // Cluster per pointed-to object: object id -> member pointers.
+  std::map<VarId, std::vector<VarId>> ByObject;
+  std::vector<VarId> Unattached;
+
+  for (VarId V : Partition.Members) {
+    const SparseBitVector &Pts = Andersen.pointsTo(V);
+    if (Pts.empty()) {
+      Unattached.push_back(V);
+      continue;
+    }
+    Pts.forEach([&](uint32_t Obj) { ByObject[Obj].push_back(V); });
+  }
+
+  std::vector<Cluster> Out;
+  // Deduplicate clusters with identical membership (several objects are
+  // often pointed to by exactly the same pointers).
+  std::unordered_map<uint64_t, std::vector<size_t>> SeenByHash;
+  for (auto &[Obj, MembersRef] : ByObject) {
+    std::vector<VarId> Members = MembersRef;
+    std::sort(Members.begin(), Members.end());
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (VarId V : Members) {
+      H ^= V;
+      H *= 0x100000001b3ull;
+    }
+    bool Duplicate = false;
+    for (size_t Idx : SeenByHash[H]) {
+      if (Out[Idx].Members == Members) {
+        Duplicate = true;
+        break;
+      }
+    }
+    if (Duplicate)
+      continue;
+    SeenByHash[H].push_back(Out.size());
+    Cluster C;
+    C.Members = std::move(Members);
+    C.SourcePartition = Partition.SourcePartition;
+    Out.push_back(std::move(C));
+  }
+
+  for (VarId V : Unattached) {
+    Cluster C;
+    C.Members = {V};
+    C.SourcePartition = Partition.SourcePartition;
+    Out.push_back(std::move(C));
+  }
+  eliminateSubsetClusters(Out);
+  return Out;
+}
+
+void bsaa::core::eliminateSubsetClusters(std::vector<Cluster> &Cover) {
+  if (Cover.size() < 2)
+    return;
+  // Sort by size descending so any strict superset precedes its
+  // subsets; ties keep the first occurrence.
+  std::vector<uint32_t> Order(Cover.size());
+  for (uint32_t I = 0; I < Cover.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&Cover](uint32_t A, uint32_t B) {
+    return Cover[A].Members.size() > Cover[B].Members.size();
+  });
+
+  // Member -> kept-cluster ids (in processing order). A cluster is a
+  // subset of a kept one iff the kept id appears in every member's
+  // list; intersect starting from the shortest list.
+  std::unordered_map<VarId, std::vector<uint32_t>> KeptByMember;
+  std::vector<uint8_t> Dropped(Cover.size(), 0);
+
+  for (uint32_t Idx : Order) {
+    const std::vector<VarId> &Members = Cover[Idx].Members;
+    // Find the member with the fewest kept clusters.
+    const std::vector<uint32_t> *Shortest = nullptr;
+    for (VarId V : Members) {
+      auto It = KeptByMember.find(V);
+      if (It == KeptByMember.end()) {
+        Shortest = nullptr;
+        break;
+      }
+      if (!Shortest || It->second.size() < Shortest->size())
+        Shortest = &It->second;
+    }
+    bool IsSubset = false;
+    if (Shortest) {
+      for (uint32_t Candidate : *Shortest) {
+        // Candidate contains Members[shortest's var]; check the rest.
+        bool All = true;
+        for (VarId V : Members) {
+          const std::vector<uint32_t> &List = KeptByMember[V];
+          if (std::find(List.begin(), List.end(), Candidate) ==
+              List.end()) {
+            All = false;
+            break;
+          }
+        }
+        if (All) {
+          IsSubset = true;
+          break;
+        }
+      }
+    }
+    if (IsSubset) {
+      Dropped[Idx] = 1;
+      continue;
+    }
+    for (VarId V : Members)
+      KeptByMember[V].push_back(Idx);
+  }
+
+  std::vector<Cluster> Kept;
+  Kept.reserve(Cover.size());
+  for (uint32_t I = 0; I < Cover.size(); ++I)
+    if (!Dropped[I])
+      Kept.push_back(std::move(Cover[I]));
+  Cover = std::move(Kept);
+}
+
+bool bsaa::core::coversAll(const std::vector<Cluster> &Cover,
+                           const std::vector<VarId> &Universe) {
+  SparseBitVector Covered;
+  for (const Cluster &C : Cover)
+    for (VarId V : C.Members)
+      Covered.set(V);
+  for (VarId V : Universe)
+    if (!Covered.test(V))
+      return false;
+  return true;
+}
+
+uint32_t bsaa::core::maxClusterSize(const Program &P,
+                                    const std::vector<Cluster> &Cover) {
+  uint32_t Max = 0;
+  for (const Cluster &C : Cover)
+    Max = std::max(Max, C.pointerCount(P));
+  return Max;
+}

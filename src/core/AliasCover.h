@@ -1,0 +1,82 @@
+//===- core/AliasCover.h - Disjoint / disjunctive alias covers --*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the two alias covers of Section 2:
+///
+///  * the *disjoint* cover of Steensgaard partitions (one cluster per
+///    partition, pairwise disjoint), and
+///  * the *disjunctive* cover of Andersen clusters (one cluster per
+///    pointed-to object; clusters may overlap, but by Theorem 7 the
+///    aliases of a pointer are the union of its aliases within each
+///    cluster containing it).
+///
+/// Andersen clustering is bootstrapped: it runs Andersen's analysis on
+/// the partition's relevant-statement slice only, then splits the
+/// partition by pointed-to object. Identical clusters are deduplicated
+/// and pointers with empty points-to sets become singletons so that the
+/// cover condition P = U Pi holds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_CORE_ALIASCOVER_H
+#define BSAA_CORE_ALIASCOVER_H
+
+#include "core/Cluster.h"
+
+#include <vector>
+
+namespace bsaa {
+namespace analysis {
+class SteensgaardAnalysis;
+class AndersenAnalysis;
+} // namespace analysis
+
+namespace core {
+
+/// The trivial cluster containing every variable and every pointer
+/// assignment of the program. Running the FSCS engine on it is the
+/// paper's "without clustering" baseline (Table 1, column 6).
+Cluster wholeProgramCluster(const ir::Program &P);
+
+/// One cluster per Steensgaard partition (a disjoint alias cover).
+/// Slices (Algorithm 1) are *not* attached; callers attach them for the
+/// partitions they analyze.
+std::vector<Cluster>
+steensgaardCover(const ir::Program &P,
+                 const analysis::SteensgaardAnalysis &Steens);
+
+/// Splits \p Partition into Andersen clusters using \p Andersen's
+/// points-to sets (typically solved on the partition's slice). Returns a
+/// disjunctive cover of the partition's pointers: one cluster per
+/// pointed-to object (deduplicated), plus singletons for pointers that
+/// point at nothing.
+std::vector<Cluster>
+andersenClusters(const ir::Program &P,
+                 const analysis::AndersenAnalysis &Andersen,
+                 const Cluster &Partition);
+
+/// Removes clusters whose member set is contained in another cluster's.
+/// Sound: the aliases of a pointer within a subset cluster are a subset
+/// of its aliases within the superset (same slice machinery), so the
+/// disjunctive-cover union (Theorem 7) is unchanged. This keeps the
+/// cover size near the paper's counts when many objects share almost
+/// the same pointer population (heap-heavy code).
+void eliminateSubsetClusters(std::vector<Cluster> &Cover);
+
+/// Checks cover condition (i): every member of \p Universe appears in
+/// some cluster. Used by tests and assertions.
+bool coversAll(const std::vector<Cluster> &Cover,
+               const std::vector<ir::VarId> &Universe);
+
+/// Maximum pointer count over clusters (the paper's "Max" columns).
+uint32_t maxClusterSize(const ir::Program &P,
+                        const std::vector<Cluster> &Cover);
+
+} // namespace core
+} // namespace bsaa
+
+#endif // BSAA_CORE_ALIASCOVER_H

@@ -1,0 +1,246 @@
+//===- core/BootstrapDriver.cpp - The bootstrapping cascade ---------------===//
+
+#include "core/BootstrapDriver.h"
+
+#include "analysis/Andersen.h"
+#include "analysis/OneLevelFlow.h"
+#include "core/AliasCover.h"
+#include "core/RelevantStatements.h"
+#include "fscs/ClusterAliasAnalysis.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace bsaa;
+using namespace bsaa::core;
+using namespace bsaa::ir;
+
+BootstrapDriver::BootstrapDriver(const Program &P, BootstrapOptions Opts)
+    : Prog(P), Opts(Opts), CG(P) {}
+
+const analysis::SteensgaardAnalysis &BootstrapDriver::steensgaard() {
+  if (!Steens) {
+    Steens = std::make_unique<analysis::SteensgaardAnalysis>(Prog);
+    Steens->run();
+  }
+  return *Steens;
+}
+
+namespace {
+
+/// Splits \p Partition by the points-to sets of \p PointsToVarsOf:
+/// one cluster per pointed-to cell, deduplicated, singletons for
+/// pointers with no targets. Shared by the One-Flow and Andersen
+/// refinement stages.
+template <typename PtsFn>
+std::vector<Cluster> splitByPointsTo(const Cluster &Partition,
+                                     PtsFn PointsToVarsOf) {
+  std::map<VarId, std::vector<VarId>> ByObject;
+  std::vector<VarId> Unattached;
+  for (VarId V : Partition.Members) {
+    std::vector<VarId> Pts = PointsToVarsOf(V);
+    if (Pts.empty()) {
+      Unattached.push_back(V);
+      continue;
+    }
+    for (VarId O : Pts)
+      ByObject[O].push_back(V);
+  }
+  std::vector<Cluster> Out;
+  std::vector<std::vector<VarId>> SeenMembers;
+  for (auto &[Obj, Members] : ByObject) {
+    (void)Obj;
+    std::sort(Members.begin(), Members.end());
+    Members.erase(std::unique(Members.begin(), Members.end()),
+                  Members.end());
+    if (std::find(SeenMembers.begin(), SeenMembers.end(), Members) !=
+        SeenMembers.end())
+      continue;
+    SeenMembers.push_back(Members);
+    Cluster C;
+    C.Members = Members;
+    C.SourcePartition = Partition.SourcePartition;
+    Out.push_back(std::move(C));
+  }
+  for (VarId V : Unattached) {
+    Cluster C;
+    C.Members = {V};
+    C.SourcePartition = Partition.SourcePartition;
+    Out.push_back(std::move(C));
+  }
+  eliminateSubsetClusters(Out);
+  return Out;
+}
+
+} // namespace
+
+std::vector<Cluster> BootstrapDriver::buildCover() {
+  const analysis::SteensgaardAnalysis &S = steensgaard();
+  std::vector<Cluster> Partitions = steensgaardCover(Prog, S);
+  SliceIndex Index(Prog, S);
+
+  AndersenSeconds = 0;
+  OneFlowSecs = 0;
+
+  std::vector<Cluster> Cover;
+  for (Cluster &Part : Partitions) {
+    uint32_t Size = Part.pointerCount(Prog);
+    if (Size == 0) {
+      // No pointers: nothing to compute aliases for. (Plain-int value
+      // chains are still tracked *inside* other clusters' slices.)
+      continue;
+    }
+    if (Size <= Opts.AndersenThreshold ||
+        Opts.AndersenThreshold == UINT32_MAX) {
+      Cover.push_back(std::move(Part));
+      continue;
+    }
+
+    // Oversized partition: refine. Either cascade stage runs only on
+    // the partition's Algorithm-1 slice -- this is the bootstrapping.
+    attachRelevantSlice(Prog, S, Part, Index);
+
+    std::vector<Cluster> Pieces;
+    if (Opts.UseOneFlow) {
+      Timer T;
+      analysis::OneLevelFlow Flow(Prog);
+      Flow.runOn(Part.Statements);
+      Pieces = splitByPointsTo(
+          Part, [&Flow](VarId V) { return Flow.pointsToVars(V); });
+      OneFlowSecs += T.seconds();
+      // Anything One-Flow could not shrink falls through to Andersen.
+      std::vector<Cluster> Final;
+      for (Cluster &Piece : Pieces) {
+        if (Piece.pointerCount(Prog) <= Opts.AndersenThreshold) {
+          Final.push_back(std::move(Piece));
+          continue;
+        }
+        Timer TA;
+        attachRelevantSlice(Prog, S, Piece, Index);
+        analysis::AndersenAnalysis Andersen(Prog);
+        Andersen.runOn(Piece.Statements);
+        std::vector<Cluster> Sub = andersenClusters(Prog, Andersen, Piece);
+        AndersenSeconds += TA.seconds();
+        for (Cluster &SC : Sub)
+          Final.push_back(std::move(SC));
+      }
+      Pieces = std::move(Final);
+    } else {
+      Timer TA;
+      analysis::AndersenAnalysis Andersen(Prog);
+      Andersen.runOn(Part.Statements);
+      Pieces = andersenClusters(Prog, Andersen, Part);
+      AndersenSeconds += TA.seconds();
+    }
+    for (Cluster &Piece : Pieces)
+      Cover.push_back(std::move(Piece));
+  }
+
+  // Attach slices for every cluster that does not have one yet.
+  for (Cluster &C : Cover)
+    if (C.Statements.empty() && C.TrackedRefs.empty())
+      attachRelevantSlice(Prog, S, C, Index);
+  return Cover;
+}
+
+ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
+  assert(Steens && "run steensgaard() before analyzing clusters");
+  ClusterRunResult R;
+  R.PointerCount = C.pointerCount(Prog);
+  Timer T;
+  fscs::ClusterAliasAnalysis AA(Prog, CG, *Steens, C, Opts.EngineOpts);
+  AA.prepare();
+  // Workload: the points-to set of every member pointer at its owning
+  // function's exit (globals: at the entry function's exit).
+  FuncId Entry = Prog.entryFunction();
+  for (VarId V : C.Members) {
+    const Variable &Var = Prog.var(V);
+    if (!Var.isPointer())
+      continue;
+    FuncId Owner = Var.Owner != InvalidFunc ? Var.Owner : Entry;
+    if (Owner == InvalidFunc)
+      continue;
+    AA.pointsTo(V, Prog.func(Owner).Exit);
+    if (AA.engine().budgetExhausted())
+      break;
+  }
+  R.Seconds = T.seconds();
+  R.Steps = AA.engine().stepsUsed();
+  R.SummaryTuples = AA.engine().numSummaryTuples();
+  R.BudgetHit = AA.engine().budgetExhausted();
+  return R;
+}
+
+ClusterRunResult BootstrapDriver::runUnclustered() {
+  steensgaard();
+  Cluster Whole = wholeProgramCluster(Prog);
+  return analyzeCluster(Whole);
+}
+
+BootstrapResult BootstrapDriver::runAll() {
+  BootstrapResult Result;
+
+  steensgaard();
+  Result.SteensgaardSeconds = Steens->solveSeconds();
+
+  std::vector<Cluster> Cover = buildCover();
+  Result.AndersenClusteringSeconds = AndersenSeconds;
+  Result.OneFlowSeconds = OneFlowSecs;
+  Result.NumClusters = static_cast<uint32_t>(Cover.size());
+  Result.MaxClusterSize = maxClusterSize(Prog, Cover);
+
+  Result.Clusters.resize(Cover.size());
+  if (Opts.Threads > 1) {
+    // Clusters are analyzed independently of one another: the paper's
+    // parallelization claim, realized with a real thread pool.
+    ThreadPool Pool(Opts.Threads);
+    for (size_t I = 0; I < Cover.size(); ++I) {
+      Pool.submit([this, &Cover, &Result, I] {
+        Result.Clusters[I] = analyzeCluster(Cover[I]);
+      });
+    }
+    Pool.waitAll();
+  } else {
+    for (size_t I = 0; I < Cover.size(); ++I)
+      Result.Clusters[I] = analyzeCluster(Cover[I]);
+  }
+
+  for (const ClusterRunResult &R : Result.Clusters) {
+    Result.TotalFscsSeconds += R.Seconds;
+    Result.AnyBudgetHit |= R.BudgetHit;
+  }
+  Result.SimulatedParallelSeconds =
+      simulateParallel(Result.Clusters, Opts.SimulatedParts);
+  return Result;
+}
+
+double
+BootstrapDriver::simulateParallel(const std::vector<ClusterRunResult> &Rs,
+                                  uint32_t Parts) {
+  if (Rs.empty() || Parts == 0)
+    return 0;
+  // The paper's greedy heuristic: total pointer count divided by the
+  // part count gives a target size; clusters are accumulated in order
+  // until the running pointer sum exceeds the target, at which point
+  // the accumulated clusters close one part.
+  uint64_t TotalPointers = 0;
+  for (const ClusterRunResult &R : Rs)
+    TotalPointers += R.PointerCount;
+  uint64_t Target = std::max<uint64_t>(1, TotalPointers / Parts);
+
+  double MaxPart = 0, PartSeconds = 0;
+  uint64_t PartPointers = 0;
+  for (const ClusterRunResult &R : Rs) {
+    PartSeconds += R.Seconds;
+    PartPointers += R.PointerCount;
+    if (PartPointers >= Target) {
+      MaxPart = std::max(MaxPart, PartSeconds);
+      PartSeconds = 0;
+      PartPointers = 0;
+    }
+  }
+  MaxPart = std::max(MaxPart, PartSeconds);
+  return MaxPart;
+}

@@ -1,0 +1,136 @@
+//===- core/BootstrapDriver.h - The bootstrapping cascade ------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end bootstrapping pipeline of the paper:
+///
+///   Steensgaard partitioning
+///     -> [optional One-Level Flow refinement]
+///     -> Andersen clustering of partitions above a size threshold
+///        (paper: 60), each run only on its partition's Algorithm-1
+///        slice (Steensgaard bootstraps Andersen)
+///     -> per-cluster summarization-based FSCS analysis
+///     -> greedy k-way packing of clusters to simulate parallel
+///        machines (the paper simulates 5), plus optional real
+///        threading since clusters are independent.
+///
+/// The driver also runs the "without clustering" baseline (whole
+/// program as one cluster, with a step budget standing in for the
+/// paper's 15-minute timeout), which is exactly what Table 1 compares.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_CORE_BOOTSTRAPDRIVER_H
+#define BSAA_CORE_BOOTSTRAPDRIVER_H
+
+#include "analysis/Steensgaard.h"
+#include "core/Cluster.h"
+#include "fscs/SummaryEngine.h"
+#include "ir/CallGraph.h"
+
+#include <memory>
+#include <vector>
+
+namespace bsaa {
+namespace core {
+
+/// Pipeline configuration.
+struct BootstrapOptions {
+  /// Steensgaard partitions with more pointers than this get refined by
+  /// bootstrapped Andersen clustering (the paper's empirical 60).
+  /// UINT32_MAX disables Andersen clustering entirely.
+  uint32_t AndersenThreshold = 60;
+
+  /// Cascade Das One-Level Flow between Steensgaard and Andersen:
+  /// partitions above AndersenThreshold are first split by One-Level
+  /// Flow points-to sets; only still-oversized clusters fall through to
+  /// Andersen. (The paper suggests this as "another option".)
+  bool UseOneFlow = false;
+
+  /// Parts for the paper's simulated-parallelism report.
+  uint32_t SimulatedParts = 5;
+
+  /// Real worker threads for per-cluster analyses (0 = sequential).
+  unsigned Threads = 0;
+
+  /// Per-cluster FSCS engine options (step budget models the paper's
+  /// 15-minute timeout).
+  fscs::SummaryEngine::Options EngineOpts;
+};
+
+/// Per-cluster FSCS outcome.
+struct ClusterRunResult {
+  uint32_t PointerCount = 0;
+  double Seconds = 0;
+  uint64_t Steps = 0;
+  uint64_t SummaryTuples = 0;
+  bool BudgetHit = false;
+};
+
+/// Whole-pipeline outcome: the raw material of a Table 1 row.
+struct BootstrapResult {
+  double SteensgaardSeconds = 0;
+  double AndersenClusteringSeconds = 0;
+  double OneFlowSeconds = 0;
+
+  uint32_t NumClusters = 0;
+  uint32_t MaxClusterSize = 0; ///< Pointers in the largest cluster.
+
+  std::vector<ClusterRunResult> Clusters;
+  double TotalFscsSeconds = 0;      ///< Sum over clusters.
+  double SimulatedParallelSeconds = 0; ///< Greedy k-part max.
+  bool AnyBudgetHit = false;
+};
+
+/// Drives the cascade over one program.
+class BootstrapDriver {
+public:
+  BootstrapDriver(const ir::Program &P, BootstrapOptions Opts);
+
+  /// Stage 1: Steensgaard (memoized).
+  const analysis::SteensgaardAnalysis &steensgaard();
+
+  /// Stages 1-2(-3): the cluster cover per the options, slices
+  /// attached. Timings land in the result of runAll() / in the fields
+  /// below if called standalone.
+  std::vector<Cluster> buildCover();
+
+  /// Stage 4 for one cluster: dovetailed FSCS analysis computing the
+  /// points-to set of every member pointer at its owner's exit.
+  /// Requires steensgaard() to have run; thread-safe across clusters
+  /// afterwards.
+  ClusterRunResult analyzeCluster(const Cluster &C) const;
+
+  /// The whole pipeline.
+  BootstrapResult runAll();
+
+  /// The "no clustering" baseline: one whole-program cluster.
+  ClusterRunResult runUnclustered();
+
+  /// The paper's greedy parallel simulation: clusters are packed into
+  /// \p Parts parts by pointer count; returns the maximum per-part
+  /// total analysis time.
+  static double simulateParallel(const std::vector<ClusterRunResult> &Rs,
+                                 uint32_t Parts);
+
+  const ir::CallGraph &callGraph() const { return CG; }
+
+  double andersenClusteringSeconds() const { return AndersenSeconds; }
+  double oneFlowSeconds() const { return OneFlowSecs; }
+
+private:
+  const ir::Program &Prog;
+  BootstrapOptions Opts;
+  ir::CallGraph CG;
+  std::unique_ptr<analysis::SteensgaardAnalysis> Steens;
+  double AndersenSeconds = 0;
+  double OneFlowSecs = 0;
+};
+
+} // namespace core
+} // namespace bsaa
+
+#endif // BSAA_CORE_BOOTSTRAPDRIVER_H

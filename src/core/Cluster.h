@@ -1,0 +1,65 @@
+//===- core/Cluster.h - Pointer clusters ------------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *cluster* is the unit of divide and conquer in the bootstrapping
+/// framework: a small subset of pointers such that computing the aliases
+/// of any member can be restricted to the cluster's relevant-statement
+/// slice (Algorithm 1). Steensgaard partitions and Andersen clusters are
+/// both represented by this type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_CORE_CLUSTER_H
+#define BSAA_CORE_CLUSTER_H
+
+#include "ir/Ir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bsaa {
+namespace core {
+
+/// One pointer cluster plus its program slice.
+struct Cluster {
+  /// Member variables. For Steensgaard partitions these are equivalence
+  /// classes; Andersen clusters may overlap each other.
+  std::vector<ir::VarId> Members;
+
+  /// V_P: every Ref whose value can affect aliases of the members
+  /// (output of Algorithm 1).
+  std::vector<ir::Ref> TrackedRefs;
+
+  /// St_P: the statements that may affect aliases of the members; the
+  /// only statements any per-cluster analysis needs to look at.
+  std::vector<ir::LocId> Statements;
+
+  /// The Steensgaard partition this cluster came from, or UINT32_MAX for
+  /// whole-program / synthetic clusters.
+  uint32_t SourcePartition = UINT32_MAX;
+
+  /// Number of pointer-typed members (the paper's cluster-size metric).
+  uint32_t pointerCount(const ir::Program &P) const {
+    uint32_t N = 0;
+    for (ir::VarId V : Members)
+      if (P.var(V).isPointer())
+        ++N;
+    return N;
+  }
+
+  bool containsMember(ir::VarId V) const {
+    for (ir::VarId M : Members)
+      if (M == V)
+        return true;
+    return false;
+  }
+};
+
+} // namespace core
+} // namespace bsaa
+
+#endif // BSAA_CORE_CLUSTER_H

@@ -1,0 +1,172 @@
+//===- frontend/Ast.h - Mini-C abstract syntax ------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the mini-C dialect. The tree is deliberately small: the
+/// language exists to feed the alias analyses, so only pointer-relevant
+/// constructs are modeled faithfully; conditions are parsed and then
+/// treated as nondeterministic, exactly as the paper does ("all
+/// conditional statements ... are treated as evaluating to true").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_FRONTEND_AST_H
+#define BSAA_FRONTEND_AST_H
+
+#include "frontend/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bsaa {
+namespace frontend {
+
+//===------------------------------------------------------------------===//
+// Types
+//===------------------------------------------------------------------===//
+
+/// Base type category in a declaration.
+enum class TypeName : uint8_t {
+  Int,
+  Void,
+  Lock,
+  Fptr,   ///< `fptr_t`: a function pointer (depth handled separately).
+  Struct, ///< Named struct, flattened by the lowerer.
+};
+
+/// A declared type: base name (+ struct tag) and pointer depth.
+struct TypeSpec {
+  TypeName Name = TypeName::Int;
+  std::string StructTag; ///< Only for TypeName::Struct.
+  uint8_t PtrDepth = 0;
+
+  bool isVoid() const { return Name == TypeName::Void && PtrDepth == 0; }
+};
+
+//===------------------------------------------------------------------===//
+// Expressions
+//===------------------------------------------------------------------===//
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  Ident,   ///< Variable or function name.
+  Number,  ///< Integer literal.
+  Null,    ///< NULL.
+  Malloc,  ///< malloc()
+  AddrOf,  ///< &Sub
+  Deref,   ///< *Sub
+  Field,   ///< Sub.FieldName (struct value field access)
+  Call,    ///< Callee(Args...) -- Callee is Ident (function or fptr_t var)
+  Binary,  ///< Comparisons / arithmetic; only appears inside conditions.
+  Not,     ///< !Sub; only inside conditions.
+};
+
+struct Expr {
+  ExprKind Kind;
+  SourcePos Pos;
+  std::string Name;          ///< Ident / Field name / Binary operator text.
+  ExprPtr Sub;               ///< AddrOf/Deref/Field/Not operand, Binary lhs.
+  ExprPtr Rhs;               ///< Binary rhs.
+  std::vector<ExprPtr> Args; ///< Call arguments.
+
+  Expr(ExprKind Kind, SourcePos Pos) : Kind(Kind), Pos(Pos) {}
+};
+
+//===------------------------------------------------------------------===//
+// Statements
+//===------------------------------------------------------------------===//
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  Assign, ///< Lhs = Rhs
+  Expr,   ///< Expression statement (a call).
+  Decl,   ///< Local declaration(s).
+  If,
+  While,
+  Block,
+  Return,
+  Lock,   ///< lock(e)
+  Unlock, ///< unlock(e)
+  Free,   ///< free(e) -> e = NULL per the paper's model
+  Empty,
+};
+
+/// One declarator in a Decl statement.
+struct Declarator {
+  std::string Name;
+  uint8_t ExtraPtrDepth = 0; ///< Leading '*'s on this declarator.
+  ExprPtr Init;              ///< Optional initializer.
+  SourcePos Pos;
+};
+
+struct Stmt {
+  StmtKind Kind;
+  SourcePos Pos;
+  std::string Label;             ///< Optional source label ("1a").
+  ExprPtr Lhs;                   ///< Assign target / Lock / Free operand.
+  ExprPtr Rhs;                   ///< Assign source / Return value / cond.
+  TypeSpec DeclType;             ///< For Decl.
+  std::vector<Declarator> Decls; ///< For Decl.
+  std::vector<StmtPtr> Body;     ///< Block items / If-then / While body.
+  std::vector<StmtPtr> ElseBody; ///< If-else.
+
+  Stmt(StmtKind Kind, SourcePos Pos) : Kind(Kind), Pos(Pos) {}
+};
+
+//===------------------------------------------------------------------===//
+// Top level
+//===------------------------------------------------------------------===//
+
+/// One field of a struct declaration.
+struct FieldDecl {
+  TypeSpec Type;
+  std::string Name;
+  SourcePos Pos;
+};
+
+struct StructDecl {
+  std::string Tag;
+  std::vector<FieldDecl> Fields;
+  SourcePos Pos;
+};
+
+struct ParamDecl {
+  TypeSpec Type;
+  std::string Name;
+  SourcePos Pos;
+};
+
+struct FunctionDecl {
+  TypeSpec ReturnType;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::vector<StmtPtr> Body; ///< Empty for a prototype.
+  bool IsDefinition = false;
+  SourcePos Pos;
+};
+
+struct GlobalDecl {
+  TypeSpec Type;
+  std::vector<Declarator> Decls;
+  SourcePos Pos;
+};
+
+/// A parsed translation unit.
+struct TranslationUnit {
+  std::vector<StructDecl> Structs;
+  std::vector<GlobalDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+};
+
+} // namespace frontend
+} // namespace bsaa
+
+#endif // BSAA_FRONTEND_AST_H

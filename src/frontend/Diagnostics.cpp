@@ -1,0 +1,21 @@
+//===- frontend/Diagnostics.cpp - Error collection ------------------------===//
+
+#include "frontend/Diagnostics.h"
+
+#include <sstream>
+
+using namespace bsaa;
+using namespace bsaa::frontend;
+
+std::string Diagnostic::toString() const {
+  std::ostringstream OS;
+  OS << Pos.Line << ":" << Pos.Col << ": error: " << Message;
+  return OS.str();
+}
+
+std::string Diagnostics::toString() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Items)
+    OS << D.toString() << "\n";
+  return OS.str();
+}

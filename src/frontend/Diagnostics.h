@@ -1,0 +1,61 @@
+//===- frontend/Diagnostics.h - Error collection ----------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects parser / semantic errors with source positions. The library
+/// never throws; tools inspect the collected diagnostics after a compile
+/// attempt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_FRONTEND_DIAGNOSTICS_H
+#define BSAA_FRONTEND_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsaa {
+namespace frontend {
+
+/// A 1-based source position.
+struct SourcePos {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+/// One reported problem.
+struct Diagnostic {
+  SourcePos Pos;
+  std::string Message;
+
+  /// Renders "line:col: error: message" (message style follows the LLVM
+  /// convention: lowercase first word, no trailing period).
+  std::string toString() const;
+};
+
+/// Accumulates diagnostics during a compile.
+class Diagnostics {
+public:
+  void error(SourcePos Pos, std::string Message) {
+    Items.push_back(Diagnostic{Pos, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Items.empty(); }
+  size_t size() const { return Items.size(); }
+  const std::vector<Diagnostic> &all() const { return Items; }
+
+  /// All diagnostics, one per line.
+  std::string toString() const;
+
+private:
+  std::vector<Diagnostic> Items;
+};
+
+} // namespace frontend
+} // namespace bsaa
+
+#endif // BSAA_FRONTEND_DIAGNOSTICS_H

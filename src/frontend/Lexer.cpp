@@ -1,0 +1,279 @@
+//===- frontend/Lexer.cpp - Mini-C lexer ----------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "frontend/Diagnostics.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace bsaa;
+using namespace bsaa::frontend;
+
+const char *frontend::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwLockT:
+    return "'lock_t'";
+  case TokKind::KwFptrT:
+    return "'fptr_t'";
+  case TokKind::KwStruct:
+    return "'struct'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwNull:
+    return "'NULL'";
+  case TokKind::KwMalloc:
+    return "'malloc'";
+  case TokKind::KwFree:
+    return "'free'";
+  case TokKind::KwLock:
+    return "'lock'";
+  case TokKind::KwUnlock:
+    return "'unlock'";
+  case TokKind::KwNondet:
+    return "'nondet'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Not:
+    return "'!'";
+  }
+  return "<bad token>";
+}
+
+Lexer::Lexer(std::string_view Source, Diagnostics &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Offset + Ahead < Source.size() ? Source[Offset + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Offset++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourcePos Start = pos();
+      advance();
+      advance();
+      bool Closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  Token T;
+  T.Pos = pos();
+  if (atEnd()) {
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+
+  char C = peek();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      Text.push_back(advance());
+    static const std::unordered_map<std::string, TokKind> Keywords = {
+        {"int", TokKind::KwInt},       {"void", TokKind::KwVoid},
+        {"lock_t", TokKind::KwLockT},  {"fptr_t", TokKind::KwFptrT},
+        {"struct", TokKind::KwStruct}, {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},     {"while", TokKind::KwWhile},
+        {"return", TokKind::KwReturn}, {"NULL", TokKind::KwNull},
+        {"malloc", TokKind::KwMalloc}, {"free", TokKind::KwFree},
+        {"lock", TokKind::KwLock},     {"unlock", TokKind::KwUnlock},
+        {"nondet", TokKind::KwNondet},
+    };
+    auto It = Keywords.find(Text);
+    if (It != Keywords.end()) {
+      T.Kind = It->second;
+    } else {
+      T.Kind = TokKind::Ident;
+      T.Text = std::move(Text);
+    }
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Text;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+    T.Kind = TokKind::Number;
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  advance();
+  switch (C) {
+  case '(':
+    T.Kind = TokKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokKind::RParen;
+    return T;
+  case '{':
+    T.Kind = TokKind::LBrace;
+    return T;
+  case '}':
+    T.Kind = TokKind::RBrace;
+    return T;
+  case ';':
+    T.Kind = TokKind::Semi;
+    return T;
+  case ',':
+    T.Kind = TokKind::Comma;
+    return T;
+  case '.':
+    T.Kind = TokKind::Dot;
+    return T;
+  case ':':
+    T.Kind = TokKind::Colon;
+    return T;
+  case '+':
+    T.Kind = TokKind::Plus;
+    return T;
+  case '-':
+    T.Kind = TokKind::Minus;
+    return T;
+  case '&':
+    T.Kind = TokKind::Amp;
+    return T;
+  case '*':
+    T.Kind = TokKind::Star;
+    return T;
+  case '=':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokKind::EqEq;
+    } else {
+      T.Kind = TokKind::Assign;
+    }
+    return T;
+  case '!':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokKind::NotEq;
+    } else {
+      T.Kind = TokKind::Not;
+    }
+    return T;
+  case '<':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokKind::LessEq;
+    } else {
+      T.Kind = TokKind::Less;
+    }
+    return T;
+  case '>':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokKind::GreaterEq;
+    } else {
+      T.Kind = TokKind::Greater;
+    }
+    return T;
+  default:
+    Diags.error(T.Pos, std::string("unexpected character '") + C + "'");
+    // Resynchronize by producing the next token.
+    return next();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    bool IsEof = T.is(TokKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (IsEof)
+      break;
+  }
+  return Tokens;
+}

@@ -1,0 +1,52 @@
+//===- frontend/Lexer.h - Mini-C lexer --------------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the mini-C dialect. Handles `//` and `/* */`
+/// comments and tracks line/column positions for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_FRONTEND_LEXER_H
+#define BSAA_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace bsaa {
+namespace frontend {
+
+class Diagnostics;
+
+/// Tokenizes a whole buffer up front.
+class Lexer {
+public:
+  Lexer(std::string_view Source, Diagnostics &Diags);
+
+  /// All tokens including a trailing Eof.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Offset >= Source.size(); }
+  void skipTrivia();
+  SourcePos pos() const { return SourcePos{Line, Col}; }
+
+  std::string_view Source;
+  Diagnostics &Diags;
+  size_t Offset = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace frontend
+} // namespace bsaa
+
+#endif // BSAA_FRONTEND_LEXER_H

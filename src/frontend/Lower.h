@@ -1,0 +1,209 @@
+//===- frontend/Lower.h - AST to IR lowering --------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed TranslationUnit to the normalized IR:
+///
+///  * semantic checks (symbols, pointer depths, lvalues);
+///  * struct flattening -- every struct-typed variable becomes one
+///    variable per (recursively flattened) field, so field accesses turn
+///    into ordinary variable accesses and the downstream analysis is
+///    field-sensitive for free (paper Remark 1);
+///  * normalization of arbitrary pointer expressions into the four
+///    canonical assignment forms via compiler temporaries;
+///  * explicit materialization of parameter / return-value bindings as
+///    Copy statements around each Call location;
+///  * function-pointer call resolution: an `fptr_t` call may target any
+///    address-taken function of matching arity (the conservative scheme
+///    of Emami et al. that the paper adopts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_FRONTEND_LOWER_H
+#define BSAA_FRONTEND_LOWER_H
+
+#include "frontend/Ast.h"
+#include "ir/Ir.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bsaa {
+namespace frontend {
+
+class Diagnostics;
+
+/// Lowers one TranslationUnit into a Program.
+class Lowering {
+public:
+  Lowering(const TranslationUnit &Unit, Diagnostics &Diags);
+
+  /// Runs all phases. Returns null if any diagnostic was produced.
+  std::unique_ptr<ir::Program> run();
+
+private:
+  //===--------------------------------------------------------------===//
+  // Types used during lowering
+  //===--------------------------------------------------------------===//
+
+  /// A scalar (already flattened) type: base + pointer depth.
+  struct ScalarType {
+    ir::BaseType Base = ir::BaseType::Int;
+    uint8_t Depth = 0;
+    /// True for NULL / malloc / unknown-return values that unify with any
+    /// pointer type.
+    bool Wildcard = false;
+  };
+
+  /// One flattened field of a struct: suffix path ("a.b") and its type.
+  struct FlatField {
+    std::string Path;
+    ScalarType Type;
+  };
+
+  /// What a name in scope denotes.
+  struct Binding {
+    bool IsStruct = false;
+    ir::VarId Scalar = ir::InvalidVar;      ///< For scalars.
+    std::vector<std::pair<std::string, ir::VarId>> Fields; ///< For structs.
+    ScalarType Type;                        ///< Scalar type (scalars only).
+    std::string StructTag;
+  };
+
+  /// The reduced form of an lvalue: either a variable or *variable.
+  struct LPlace {
+    enum Kind { None, Var, DerefVar } K = None;
+    ir::VarId V = ir::InvalidVar;
+    ScalarType Type; ///< Type of the *place* (what an assignment writes).
+  };
+
+  /// The reduced form of an rvalue: a variable holding the value, plus
+  /// its type; or a wildcard marker for NULL.
+  struct RValue {
+    ir::VarId V = ir::InvalidVar;
+    ScalarType Type;
+    bool IsNull = false;
+  };
+
+  //===--------------------------------------------------------------===//
+  // Phases
+  //===--------------------------------------------------------------===//
+
+  bool collectStructs();
+  bool collectFunctions();
+  void collectAddressTaken();
+  void scanExprForAddressTaken(const Expr *E, bool CallPosition);
+  void scanStmtsForAddressTaken(const std::vector<StmtPtr> &Stmts);
+  bool lowerGlobals();
+  void lowerFunctionBody(const FunctionDecl &FD);
+
+  //===--------------------------------------------------------------===//
+  // Statement / expression lowering
+  //===--------------------------------------------------------------===//
+
+  void lowerStmts(const std::vector<StmtPtr> &Stmts);
+  void lowerStmt(const Stmt &S);
+  void lowerDecl(const Stmt &S);
+  void lowerAssign(const Stmt &S);
+  void lowerAssignExpr(const Expr *LhsE, const Expr *RhsE, SourcePos Pos,
+                       const std::string &Label);
+  void lowerCallStmt(const Expr &CallE, const std::string &Label);
+  void lowerReturn(const Stmt &S);
+  void lowerLockUnlock(const Stmt &S);
+  void lowerFree(const Stmt &S);
+  void lowerIf(const Stmt &S);
+  void lowerWhile(const Stmt &S);
+
+  /// If the condition \p E is a pure variable test (`a == b`, `a != b`,
+  /// `a`, `!a`, possibly field accesses), produces a canonical key and
+  /// the variables read; \p Negated reports whether the then-arm
+  /// corresponds to the key being false. Returns false for impure or
+  /// complex conditions (they stay fully nondeterministic).
+  bool condKeyFor(const Expr *E, std::string &Key,
+                  std::vector<ir::VarId> &Vars, bool &Negated);
+
+  /// Reduces \p E to an lvalue place, emitting temporaries as needed.
+  LPlace reduceLValue(const Expr *E);
+
+  /// Reduces \p E to a variable holding its value. \p Expected guides the
+  /// type of wildcard values (malloc, calls through function pointers).
+  RValue reduceRValue(const Expr *E, ScalarType Expected);
+
+  /// Lowers a call expression; returns the variable holding the result
+  /// (InvalidVar if the call has no usable pointer result).
+  RValue lowerCall(const Expr &CallE, ScalarType Expected,
+                   const std::string &Label);
+
+  //===--------------------------------------------------------------===//
+  // Emission helpers
+  //===--------------------------------------------------------------===//
+
+  /// Appends a location wired from the current frontier; the frontier
+  /// becomes {the new location}.
+  ir::LocId emit(ir::StmtKind K, ir::VarId Lhs = ir::InvalidVar,
+                 ir::VarId Rhs = ir::InvalidVar,
+                 const std::string &Label = "");
+
+  ir::VarId makeTemp(ScalarType Type);
+  ir::VarId makeAllocSite(ScalarType PointeeType);
+
+  //===--------------------------------------------------------------===//
+  // Scopes / symbols
+  //===--------------------------------------------------------------===//
+
+  void pushScope();
+  void popScope();
+  /// Declares \p Name in the innermost scope; reports redefinitions.
+  Binding *declare(const std::string &Name, SourcePos Pos);
+  /// Finds \p Name walking scopes outward; null if unbound.
+  const Binding *lookup(const std::string &Name) const;
+
+  /// Flattens \p T into scalar fields (empty vector + false on error).
+  bool flattenType(const TypeSpec &T, SourcePos Pos,
+                   std::vector<FlatField> &Out);
+  /// Converts a non-struct TypeSpec to a ScalarType.
+  ScalarType scalarOf(const TypeSpec &T) const;
+  static bool typesCompatible(ScalarType A, ScalarType B);
+  static const char *typeToString(ScalarType T);
+
+  //===--------------------------------------------------------------===//
+  // State
+  //===--------------------------------------------------------------===//
+
+  const TranslationUnit &Unit;
+  Diagnostics &Diags;
+  std::unique_ptr<ir::Program> Prog;
+
+  std::map<std::string, const StructDecl *> Structs;
+  std::map<std::string, ir::FuncId> FuncIds;
+  std::map<std::string, const FunctionDecl *> FuncDecls;
+  std::set<std::string> AddressTaken;
+  /// Address-taken functions grouped by arity, for fptr_t resolution.
+  std::map<size_t, std::vector<ir::FuncId>> AddressTakenByArity;
+
+  std::vector<std::map<std::string, Binding>> Scopes;
+  ir::FuncId CurFunc = ir::InvalidFunc;
+  const FunctionDecl *CurFuncDecl = nullptr;
+  /// CFG locations whose control flow falls through to the next emitted
+  /// statement.
+  std::vector<ir::LocId> Frontier;
+  uint32_t TempCounter = 0;
+  uint32_t AllocCounter = 0;
+  std::map<std::string, uint32_t> ShadowCounter;
+};
+
+/// Convenience: lex + parse + lower in one call. Returns null and fills
+/// \p Diags on any error.
+std::unique_ptr<ir::Program> compileString(std::string_view Source,
+                                           Diagnostics &Diags);
+
+} // namespace frontend
+} // namespace bsaa
+
+#endif // BSAA_FRONTEND_LOWER_H

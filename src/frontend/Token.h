@@ -1,0 +1,84 @@
+//===- frontend/Token.h - Mini-C tokens -------------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the mini-C dialect analyzed by this project. The
+/// dialect covers what the paper's frontend models (Remark 1): multi-
+/// level pointers, address-of, dereference, malloc/free, by-value structs
+/// (flattened), function pointers (via the builtin `fptr_t` type), and
+/// lock/unlock intrinsics for the race-detection application.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_FRONTEND_TOKEN_H
+#define BSAA_FRONTEND_TOKEN_H
+
+#include "frontend/Diagnostics.h"
+
+#include <string>
+
+namespace bsaa {
+namespace frontend {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  Number,
+  // Keywords.
+  KwInt,
+  KwVoid,
+  KwLockT,
+  KwFptrT,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwNull,
+  KwMalloc,
+  KwFree,
+  KwLock,
+  KwUnlock,
+  KwNondet, // `nondet` condition placeholder
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Semi,
+  Comma,
+  Dot,
+  Colon,
+  Assign, // =
+  Amp,    // &
+  Star,   // *
+  Plus,
+  Minus,
+  EqEq,
+  NotEq,
+  Less,
+  Greater,
+  LessEq,
+  GreaterEq,
+  Not, // !
+};
+
+/// Printable token-kind name for diagnostics.
+const char *tokKindName(TokKind K);
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text; ///< Identifier spelling or number text.
+  SourcePos Pos;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace frontend
+} // namespace bsaa
+
+#endif // BSAA_FRONTEND_TOKEN_H

@@ -1,0 +1,201 @@
+//===- fscs/ClusterAliasAnalysis.cpp - Per-cluster FSCS queries -----------===//
+
+#include "fscs/ClusterAliasAnalysis.h"
+
+#include "analysis/Steensgaard.h"
+#include "fscs/Dovetail.h"
+#include "support/SparseBitVector.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+using namespace bsaa;
+using namespace bsaa::fscs;
+using namespace bsaa::ir;
+
+namespace {
+
+uint64_t refHash(Ref R) {
+  return (uint64_t(R.Var) << 2) | uint64_t(uint8_t(R.Deref + 1));
+}
+
+} // namespace
+
+ClusterAliasAnalysis::ClusterAliasAnalysis(
+    const Program &P, const CallGraph &CG,
+    const analysis::SteensgaardAnalysis &Steens, const core::Cluster &C)
+    : ClusterAliasAnalysis(P, CG, Steens, C, SummaryEngine::Options()) {}
+
+ClusterAliasAnalysis::ClusterAliasAnalysis(
+    const Program &P, const CallGraph &CG,
+    const analysis::SteensgaardAnalysis &Steens, const core::Cluster &C,
+    SummaryEngine::Options Opts)
+    : Prog(P), CG(CG), Steens(Steens), Clu(C),
+      Engine(std::make_unique<SummaryEngine>(P, CG, Steens, C, Opts)) {}
+
+void ClusterAliasAnalysis::prepare() {
+  if (Prepared)
+    return;
+  Prepared = true;
+  dovetail(*Engine, Prog, Steens, Clu);
+}
+
+void ClusterAliasAnalysis::ensurePrepared() { prepare(); }
+
+//===--------------------------------------------------------------------===//
+// FSCI queries
+//===--------------------------------------------------------------------===//
+
+ClusterAliasAnalysis::PointsToResult
+ClusterAliasAnalysis::pointsTo(VarId V, LocId Loc) {
+  ensurePrepared();
+  PointsToResult Out;
+  SparseBitVector Objects;
+
+  std::unordered_set<uint64_t> Visited;
+  std::deque<std::pair<FuncId, Ref>> Queue;
+
+  auto Handle = [&](FuncId Owner, std::vector<SummaryTuple> Tuples) {
+    for (SummaryTuple &T : Tuples) {
+      if (!Engine->satisfiable(T.Cond))
+        continue;
+      if (T.isResolved()) {
+        Objects.set(T.Origin.Var);
+        continue;
+      }
+      if (Owner == Prog.entryFunction() || CG.callers(Owner).empty()) {
+        // Value flows from an uninitialized entry state: the chain is
+        // complete (it has no origin object).
+        continue;
+      }
+      uint64_t H = (uint64_t(Owner) << 34) ^ refHash(T.Origin);
+      if (Visited.insert(H).second)
+        Queue.emplace_back(Owner, T.Origin);
+    }
+  };
+
+  Handle(Prog.loc(Loc).Owner, Engine->originsBefore(Loc, Ref::direct(V)));
+  while (!Queue.empty()) {
+    auto [F, W] = Queue.front();
+    Queue.pop_front();
+    for (FuncId Caller : CG.callers(F))
+      for (LocId C : CG.callSites(Caller, F))
+        Handle(Caller, Engine->originsBefore(C, W));
+  }
+
+  Out.Objects = Objects.toVector();
+  Out.Complete =
+      !Engine->budgetExhausted() && !Engine->hasApproximation();
+  return Out;
+}
+
+bool ClusterAliasAnalysis::mayAlias(VarId A, VarId B, LocId Loc) {
+  if (A == B)
+    return true;
+  PointsToResult PA = pointsTo(A, Loc);
+  PointsToResult PB = pointsTo(B, Loc);
+  // Sorted vectors: linear intersection test.
+  size_t I = 0, J = 0;
+  while (I < PA.Objects.size() && J < PB.Objects.size()) {
+    if (PA.Objects[I] < PB.Objects[J])
+      ++I;
+    else if (PA.Objects[I] > PB.Objects[J])
+      ++J;
+    else
+      return true;
+  }
+  return false;
+}
+
+bool ClusterAliasAnalysis::mustAlias(VarId A, VarId B, LocId Loc) {
+  if (A == B)
+    return true;
+  PointsToResult PA = pointsTo(A, Loc);
+  PointsToResult PB = pointsTo(B, Loc);
+  return PA.Complete && PB.Complete && PA.Objects.size() == 1 &&
+         PA.Objects == PB.Objects;
+}
+
+//===--------------------------------------------------------------------===//
+// Context-sensitive queries
+//===--------------------------------------------------------------------===//
+
+ClusterAliasAnalysis::PointsToResult
+ClusterAliasAnalysis::pointsToInContext(VarId V, LocId Loc,
+                                        const Context &Ctx) {
+  ensurePrepared();
+  PointsToResult Out;
+  SparseBitVector Objects;
+  bool Complete = true;
+
+  // Work items: (ref, location to query before, remaining context
+  // depth). The context is consumed innermost-out.
+  struct Item {
+    Ref R;
+    LocId At;
+    size_t Depth; ///< Number of context frames still below us.
+  };
+  std::deque<Item> Queue;
+  std::unordered_set<uint64_t> Visited;
+  auto Push = [&](Ref R, LocId At, size_t Depth) {
+    uint64_t H = refHash(R) ^ (uint64_t(At) << 24) ^
+                 (uint64_t(Depth) << 54);
+    if (Visited.insert(H).second)
+      Queue.push_back(Item{R, At, Depth});
+  };
+  Push(Ref::direct(V), Loc, Ctx.size());
+
+  while (!Queue.empty()) {
+    Item It = Queue.front();
+    Queue.pop_front();
+    for (SummaryTuple &T : Engine->originsBefore(It.At, It.R)) {
+      if (!Engine->satisfiable(T.Cond))
+        continue;
+      if (T.isResolved()) {
+        Objects.set(T.Origin.Var);
+        continue;
+      }
+      if (It.Depth == 0) {
+        // Unresolved at the outermost frame's entry: uninitialized.
+        continue;
+      }
+      // Splice into the caller at the specific context call site.
+      LocId CallSite = Ctx[It.Depth - 1];
+      Push(T.Origin, CallSite, It.Depth - 1);
+    }
+  }
+
+  Out.Objects = Objects.toVector();
+  Out.Complete = Complete && !Engine->budgetExhausted() &&
+                 !Engine->hasApproximation();
+  return Out;
+}
+
+bool ClusterAliasAnalysis::mayAliasInContext(VarId A, VarId B, LocId Loc,
+                                             const Context &Ctx) {
+  if (A == B)
+    return true;
+  PointsToResult PA = pointsToInContext(A, Loc, Ctx);
+  PointsToResult PB = pointsToInContext(B, Loc, Ctx);
+  size_t I = 0, J = 0;
+  while (I < PA.Objects.size() && J < PB.Objects.size()) {
+    if (PA.Objects[I] < PB.Objects[J])
+      ++I;
+    else if (PA.Objects[I] > PB.Objects[J])
+      ++J;
+    else
+      return true;
+  }
+  return false;
+}
+
+bool ClusterAliasAnalysis::mustAliasInContext(VarId A, VarId B, LocId Loc,
+                                              const Context &Ctx) {
+  if (A == B)
+    return true;
+  PointsToResult PA = pointsToInContext(A, Loc, Ctx);
+  PointsToResult PB = pointsToInContext(B, Loc, Ctx);
+  return PA.Complete && PB.Complete && PA.Objects.size() == 1 &&
+         PA.Objects == PB.Objects;
+}

@@ -1,0 +1,97 @@
+//===- fscs/Constraint.cpp - Points-to constraints (Def. 8) ---------------===//
+
+#include "fscs/Constraint.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace bsaa;
+using namespace bsaa::fscs;
+
+ConstraintKind fscs::negate(ConstraintKind K) {
+  switch (K) {
+  case ConstraintKind::PointsTo:
+    return ConstraintKind::NotPointsTo;
+  case ConstraintKind::NotPointsTo:
+    return ConstraintKind::PointsTo;
+  case ConstraintKind::SameObject:
+    return ConstraintKind::NotSameObject;
+  case ConstraintKind::NotSameObject:
+    return ConstraintKind::SameObject;
+  }
+  return K;
+}
+
+Condition Condition::conjoin(const ConstraintAtom &Atom,
+                             size_t MaxAtoms) const {
+  if (IsFalse)
+    return *this;
+  for (const ConstraintAtom &Existing : Atoms) {
+    if (Existing == Atom)
+      return *this;
+    if (Existing.contradicts(Atom))
+      return falseCondition();
+  }
+  if (Atoms.size() >= MaxAtoms) {
+    // Widen: drop the new atom rather than growing without bound.
+    return *this;
+  }
+  Condition Out = *this;
+  Out.Atoms.insert(
+      std::upper_bound(Out.Atoms.begin(), Out.Atoms.end(), Atom), Atom);
+  return Out;
+}
+
+Condition Condition::conjoinAll(const Condition &Other,
+                                size_t MaxAtoms) const {
+  if (IsFalse || Other.IsFalse)
+    return falseCondition();
+  Condition Out = *this;
+  for (const ConstraintAtom &Atom : Other.Atoms) {
+    Out = Out.conjoin(Atom, MaxAtoms);
+    if (Out.IsFalse)
+      return Out;
+  }
+  return Out;
+}
+
+uint64_t Condition::hash() const {
+  uint64_t H = IsFalse ? 0x12345 : 0xcbf29ce484222325ull;
+  for (const ConstraintAtom &A : Atoms) {
+    for (uint64_t V :
+         {uint64_t(A.Loc), uint64_t(A.Kind), uint64_t(A.A), uint64_t(A.B)}) {
+      H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+    }
+  }
+  return H;
+}
+
+std::string Condition::toString(const ir::Program &P) const {
+  if (IsFalse)
+    return "false";
+  if (Atoms.empty())
+    return "true";
+  std::ostringstream OS;
+  for (size_t I = 0; I < Atoms.size(); ++I) {
+    const ConstraintAtom &A = Atoms[I];
+    if (I)
+      OS << " & ";
+    OS << "L" << A.Loc << ": " << P.var(A.A).Name;
+    switch (A.Kind) {
+    case ConstraintKind::PointsTo:
+      OS << " -> ";
+      break;
+    case ConstraintKind::NotPointsTo:
+      OS << " -/> ";
+      break;
+    case ConstraintKind::SameObject:
+      OS << " = ";
+      break;
+    case ConstraintKind::NotSameObject:
+      OS << " != ";
+      break;
+    }
+    OS << P.var(A.B).Name;
+  }
+  return OS.str();
+}

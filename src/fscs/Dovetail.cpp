@@ -1,0 +1,46 @@
+//===- fscs/Dovetail.cpp - Algorithm 2 ------------------------------------===//
+
+#include "fscs/Dovetail.h"
+
+#include "analysis/Steensgaard.h"
+#include "fscs/SummaryEngine.h"
+
+#include <map>
+#include <vector>
+
+using namespace bsaa;
+using namespace bsaa::fscs;
+using namespace bsaa::ir;
+
+DovetailStats fscs::dovetail(SummaryEngine &Engine, const Program &P,
+                             const analysis::SteensgaardAnalysis &Steens,
+                             const core::Cluster &C) {
+  // Collect every (pointer, location) pair where the slice dereferences
+  // the pointer: store bases and load bases. Those are exactly the FSCI
+  // sets Algorithm 4 consults.
+  std::map<uint32_t, std::vector<std::pair<VarId, LocId>>> ByDepth;
+  for (LocId L : C.Statements) {
+    const Location &Loc = P.loc(L);
+    VarId Base = InvalidVar;
+    if (Loc.Kind == StmtKind::Store)
+      Base = Loc.Lhs;
+    else if (Loc.Kind == StmtKind::Load)
+      Base = Loc.Rhs;
+    if (Base == InvalidVar)
+      continue;
+    ByDepth[Steens.depthOf(Base)].emplace_back(Base, L);
+  }
+
+  DovetailStats Stats;
+  for (auto &[Depth, Uses] : ByDepth) {
+    (void)Depth;
+    ++Stats.DepthLevels;
+    for (auto [Var, Loc] : Uses) {
+      Engine.fsciPointsTo(Var, Loc);
+      ++Stats.FsciQueries;
+      if (Engine.budgetExhausted())
+        return Stats;
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,55 @@
+//===- fscs/Dovetail.h - Algorithm 2 ----------------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 2 of the paper: dovetail the computation of summary tuples
+/// with the computation of FSCI points-to sets in increasing Steensgaard
+/// depth. Summaries for pointers at depth d consult FSCI points-to sets
+/// only of pointers at depth < d (strictly higher in the hierarchy), so
+/// processing depths top-down guarantees every dereference the transfer
+/// function meets is already resolved -- except inside collapsed
+/// points-to cycles, where the engine's constraint branching takes over,
+/// exactly as the paper prescribes.
+///
+/// With the demand-driven SummaryEngine the dovetailing amounts to
+/// *warming* the FSCI memo in depth order before the cluster's own
+/// summaries are computed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_FSCS_DOVETAIL_H
+#define BSAA_FSCS_DOVETAIL_H
+
+#include "core/Cluster.h"
+#include "ir/Ir.h"
+
+#include <cstdint>
+
+namespace bsaa {
+namespace analysis {
+class SteensgaardAnalysis;
+} // namespace analysis
+
+namespace fscs {
+
+class SummaryEngine;
+
+/// Statistics from a dovetail pass.
+struct DovetailStats {
+  uint32_t DepthLevels = 0;   ///< Distinct Steensgaard depths processed.
+  uint32_t FsciQueries = 0;   ///< (pointer, location) sets computed.
+};
+
+/// Warms \p Engine's FSCI memo for every dereference base appearing in
+/// the cluster slice, in increasing Steensgaard depth order.
+DovetailStats dovetail(SummaryEngine &Engine, const ir::Program &P,
+                       const analysis::SteensgaardAnalysis &Steens,
+                       const core::Cluster &C);
+
+} // namespace fscs
+} // namespace bsaa
+
+#endif // BSAA_FSCS_DOVETAIL_H

@@ -1,0 +1,181 @@
+//===- fscs/PathSensitivity.cpp - Section 3 extension ---------------------===//
+
+#include "fscs/PathSensitivity.h"
+
+#include "support/Scc.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+using namespace bsaa;
+using namespace bsaa::fscs;
+using namespace bsaa::ir;
+
+PathSensitiveOrigins::PathSensitiveOrigins(const Program &P) : Prog(P) {}
+
+bool PathSensitiveOrigins::supportsFunction(FuncId F) const {
+  auto It = AcyclicMemo.find(F);
+  if (It != AcyclicMemo.end())
+    return It->second;
+  // Acyclic iff no intra-function CFG SCC is nontrivial and no
+  // self-loop exists.
+  const Function &Fn = Prog.func(F);
+  bool Acyclic = true;
+  // Map global location ids to local indices for the SCC helper.
+  std::map<LocId, uint32_t> LocalId;
+  for (LocId L : Fn.Locations)
+    LocalId.emplace(L, uint32_t(LocalId.size()));
+  SccResult Sccs = computeSccs(
+      uint32_t(LocalId.size()),
+      [&](uint32_t Local, const std::function<void(uint32_t)> &Visit) {
+        LocId L = Fn.Locations[Local];
+        for (LocId S : Prog.loc(L).Succs)
+          Visit(LocalId.at(S));
+      });
+  for (uint32_t Local = 0; Local < Fn.Locations.size() && Acyclic;
+       ++Local) {
+    if (Sccs.inNontrivialScc(Local))
+      Acyclic = false;
+    const Location &Loc = Prog.loc(Fn.Locations[Local]);
+    if (std::find(Loc.Succs.begin(), Loc.Succs.end(),
+                  Fn.Locations[Local]) != Loc.Succs.end())
+      Acyclic = false;
+  }
+  AcyclicMemo[F] = Acyclic;
+  return Acyclic;
+}
+
+uint32_t
+PathSensitiveOrigins::bddVarFor(const std::string &CondKey,
+                                const std::vector<VarId> &CondVars) {
+  auto It = CondVarIds.find(CondKey);
+  if (It != CondVarIds.end())
+    return It->second;
+  uint32_t Id = uint32_t(PredicateReads.size());
+  CondVarIds.emplace(CondKey, Id);
+  PredicateReads.push_back(CondVars);
+  return Id;
+}
+
+PathSensitiveOrigins::Result
+PathSensitiveOrigins::originsBefore(LocId Loc, Ref R) {
+  Result Out;
+  FuncId F = Prog.loc(Loc).Owner;
+  if (!supportsFunction(F)) {
+    Out.Supported = false;
+    return Out;
+  }
+  const Function &Fn = Prog.func(F);
+
+  struct State {
+    LocId M;
+    Ref Q;
+    bdd::BddRef Path;
+  };
+  std::deque<State> WL;
+  std::set<std::tuple<LocId, VarId, int, bdd::BddRef>> Seen;
+  std::set<Ref> Origins;
+
+  auto Push = [&](LocId M, Ref Q, bdd::BddRef Path) {
+    if (Path == bdd::BddFalse) {
+      ++Out.PrunedPaths;
+      return;
+    }
+    if (Seen.emplace(M, Q.Var, Q.Deref, Path).second)
+      WL.push_back(State{M, Q, Path});
+  };
+
+  // Seed at the predecessors of the query location ("before Loc").
+  if (Loc == Fn.Entry) {
+    Out.Origins.push_back(R);
+    return Out;
+  }
+  for (LocId P : Prog.loc(Loc).Preds)
+    Push(P, R, bdd::BddTrue);
+
+  while (!WL.empty()) {
+    State S = WL.front();
+    WL.pop_front();
+    const Location &L = Prog.loc(S.M);
+
+    // Invalidate predicates whose operands this statement writes. A
+    // store could write any variable through the pointer, so it
+    // conservatively invalidates every tracked predicate.
+    bdd::BddRef Path = S.Path;
+    auto Quantify = [&](uint32_t BddVar) {
+      Path = Bdds.bddOr(Bdds.restrict(Path, BddVar, false),
+                        Bdds.restrict(Path, BddVar, true));
+    };
+    if (L.Kind == StmtKind::Store) {
+      for (const auto &[Key, BddVar] : CondVarIds) {
+        (void)Key;
+        Quantify(BddVar);
+      }
+    } else if (L.isPointerAssign() && L.Lhs != InvalidVar) {
+      for (const auto &[Key, BddVar] : CondVarIds) {
+        (void)Key;
+        const std::vector<VarId> &Reads = PredicateReads[BddVar];
+        if (std::find(Reads.begin(), Reads.end(), L.Lhs) != Reads.end())
+          Quantify(BddVar);
+      }
+    }
+
+    // Transfer (intraprocedural subset of Algorithm 4: direct
+    // assignments only; calls and stores pass through). A resolved
+    // origin (&o) becomes a constant ref that keeps walking: the path
+    // segment *upstream* of the resolution site still carries branch-
+    // arm constraints, and the origin only counts if some satisfiable
+    // path reaches the function entry.
+    Ref Q = S.Q;
+    bool Terminal = false;
+    if (L.isPointerAssign() && Q.Deref == 0 && L.Lhs == Q.Var) {
+      switch (L.Kind) {
+      case StmtKind::Copy:
+        Q = Ref::direct(L.Rhs);
+        break;
+      case StmtKind::Load:
+        Q = Ref::deref(L.Rhs);
+        break;
+      case StmtKind::AddrOf:
+      case StmtKind::Alloc:
+        Q = Ref::addrOf(L.Rhs);
+        break;
+      case StmtKind::Nullify:
+        Terminal = true; // Value chain killed.
+        break;
+      default:
+        break;
+      }
+    }
+    if (Terminal)
+      continue;
+
+    if (S.M == Fn.Entry) {
+      Origins.insert(Q);
+      continue;
+    }
+
+    for (LocId P : L.Preds) {
+      const Location &PL = Prog.loc(P);
+      bdd::BddRef NextPath = Path;
+      if (PL.Kind == StmtKind::Branch && !PL.CondKey.empty() &&
+          !PL.SuccArm.empty()) {
+        // Which arm did we come through?
+        for (size_t I = 0; I < PL.Succs.size(); ++I) {
+          if (PL.Succs[I] != S.M)
+            continue;
+          uint32_t BddVar = bddVarFor(PL.CondKey, PL.CondVars);
+          bdd::BddRef Literal = PL.SuccArm[I] == 0 ? Bdds.var(BddVar)
+                                                   : Bdds.nvar(BddVar);
+          NextPath = Bdds.bddAnd(NextPath, Literal);
+          break;
+        }
+      }
+      Push(P, Q, NextPath);
+    }
+  }
+
+  Out.Origins.assign(Origins.begin(), Origins.end());
+  return Out;
+}

@@ -1,0 +1,287 @@
+//===- fscs/SummaryEngine.h - Algorithms 4 + 5 ------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The summarization-based flow- and context-sensitive alias engine: the
+/// paper's Algorithms 4 (processing a tuple against a statement) and 5
+/// (interprocedural may-alias summary computation), demand-driven.
+///
+/// The engine answers: *where can the value of pointer expression R at
+/// location L come from?* It performs the paper's backward traversal
+/// over the cluster's relevant-statement slice (everything outside St_P
+/// is a skip), tracking maximally complete update sequences as tuples
+/// (location, ref, condition). A traversal ends either
+///
+///  * at an address-creation site (`x = &o`, `x = &alloc`): a *resolved*
+///    origin -- the tracked value is the address of o; or
+///  * at the owning function's entry: an *unresolved* origin -- a ref
+///    whose value flows in from the caller. Summary tuples of this shape
+///    are exactly Definition 8's (p, loc, q, cond).
+///
+/// Calls are spliced, not inlined: reaching a call site whose callee may
+/// modify the tracked ref demands the callee's exit-anchored summary
+/// (recursively); resolved callee origins finish the traversal, and
+/// unresolved ones continue above the call with the callee's entry ref
+/// substituted -- the paper's "splicing together local maximally
+/// complete update sequences". Recursion converges by monotone fixpoint
+/// over the finite tuple space (conditions are capped at MaxCondAtoms
+/// and widen by dropping atoms, which over-approximates soundly).
+///
+/// Statements that dereference a pointer s consult the flow-sensitive
+/// context-insensitive (FSCI) points-to set of s at that location --
+/// computed by this same engine one Steensgaard-depth higher, the
+/// paper's dovetailing (Algorithm 2). When the set is not yet known
+/// (cyclic points-to or in-flight recursion), the engine falls back to
+/// branching with points-to constraints (Definition 8), exactly as the
+/// paper prescribes for the cyclic case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_FSCS_SUMMARYENGINE_H
+#define BSAA_FSCS_SUMMARYENGINE_H
+
+#include "core/Cluster.h"
+#include "fscs/Constraint.h"
+#include "ir/CallGraph.h"
+#include "ir/Ir.h"
+#include "support/SparseBitVector.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace bsaa {
+namespace analysis {
+class SteensgaardAnalysis;
+} // namespace analysis
+
+namespace fscs {
+
+/// One summary tuple: the value of Anchor at AnchorLoc may come from
+/// Origin under Cond. Origin is either resolved (an address: Deref ==
+/// -1) or a ref live at the owning function's entry.
+struct SummaryTuple {
+  ir::Ref Anchor;
+  ir::LocId AnchorLoc = ir::InvalidLoc;
+  ir::Ref Origin;
+  Condition Cond;
+
+  bool isResolved() const { return Origin.Deref < 0; }
+};
+
+/// Demand-driven summary / FSCI points-to engine over one cluster slice.
+class SummaryEngine {
+public:
+  struct Options {
+    /// Condition length cap; longer conditions widen by dropping atoms.
+    size_t MaxCondAtoms = 4;
+    /// Result cap per summary key. Once a key holds this many tuples,
+    /// further origins are recorded *unconditionally* (condition
+    /// widened to true): a sound collapse that stops condition-space
+    /// blow-ups in recursive SCCs from cross-multiplying through
+    /// splices.
+    size_t MaxResultsPerKey = 48;
+    /// Traversal-step budget; 0 means unlimited. When exhausted the
+    /// engine stops exploring (results become partial and
+    /// budgetExhausted() reports it) -- this is how the benchmark
+    /// harness reproduces the paper's ">15min" timeout entries.
+    uint64_t StepBudget = 0;
+    /// Fan-out cap when a dereference must be enumerated without FSCI
+    /// information; beyond it the engine records an approximation flag.
+    size_t MaxDerefFanout = 64;
+  };
+
+  SummaryEngine(const ir::Program &P, const ir::CallGraph &CG,
+                const analysis::SteensgaardAnalysis &Steens,
+                const core::Cluster &C);
+  SummaryEngine(const ir::Program &P, const ir::CallGraph &CG,
+                const analysis::SteensgaardAnalysis &Steens,
+                const core::Cluster &C, Options Opts);
+
+  /// Origins of \p R's value immediately *after* executing \p AnchorLoc.
+  std::vector<SummaryTuple> summaryAt(ir::LocId AnchorLoc, ir::Ref R);
+
+  /// Origins of \p R's value immediately *before* \p Loc executes.
+  std::vector<SummaryTuple> originsBefore(ir::LocId Loc, ir::Ref R);
+
+  /// FSCI points-to objects of \p V just before \p Loc: every object o
+  /// with a (spliced, any-context) update sequence from &o to V.
+  const SparseBitVector &fsciPointsTo(ir::VarId V, ir::LocId Loc);
+
+  /// Best-effort satisfiability of \p Cond against memoized FSCI
+  /// information; unknown atoms count as satisfiable.
+  bool satisfiable(const Condition &Cond);
+
+  /// True if any traversal hit the step budget (results are partial).
+  bool budgetExhausted() const { return BudgetHit; }
+
+  /// True if a dereference fan-out was capped (results over-approximate
+  /// by an explicit "unknown" marker rather than enumeration).
+  bool hasApproximation() const { return Approximated; }
+
+  uint64_t stepsUsed() const { return Steps; }
+  uint64_t numSummaryTuples() const;
+  uint64_t numKeys() const { return Keys.size(); }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Keyed traversal state
+  //===--------------------------------------------------------------===//
+
+  using KeyId = uint32_t;
+
+  struct TraversalTuple {
+    ir::LocId M;
+    ir::Ref Q;
+    Condition Cond;
+  };
+
+  /// A splice waiting on a provider key's future results.
+  struct Waiter {
+    KeyId Dependent;
+    ir::LocId CallLoc;
+    Condition CondAtCall;
+    size_t Consumed = 0;
+  };
+
+  struct KeyState {
+    ir::LocId AnchorLoc;
+    ir::Ref R;
+    std::vector<SummaryTuple> Results;
+    std::unordered_set<uint64_t> ResultHashes;
+    std::deque<TraversalTuple> WL;
+    std::unordered_set<uint64_t> Seen; ///< Tuples ever enqueued.
+    std::vector<Waiter> Waiters;       ///< Splices fed by this key.
+    std::unordered_set<uint64_t> WaiterHashes;
+  };
+
+  KeyId ensureKey(ir::LocId Loc, ir::Ref R);
+  void enqueue(KeyId K, TraversalTuple T);
+  void addResult(KeyId K, ir::Ref Origin, const Condition &Cond);
+  void feedWaiter(KeyId Provider, size_t WaiterIdx);
+  void drain();
+  void processTuple(KeyId K, const TraversalTuple &T);
+  void handleCall(KeyId K, const TraversalTuple &T);
+  void propagate(KeyId K, ir::LocId M, ir::Ref Q, const Condition &Cond);
+
+  //===--------------------------------------------------------------===//
+  // Transfer function (Algorithm 4)
+  //===--------------------------------------------------------------===//
+
+  enum class OutcomeKind : uint8_t { Continue, Resolve, Kill };
+  struct Outcome {
+    OutcomeKind Kind;
+    ir::Ref NewQ;
+    Condition NewCond;
+  };
+
+  void transfer(ir::LocId M, ir::Ref Q, const Condition &Cond,
+                std::vector<Outcome> &Out);
+  /// The value the statement at \p M writes, as a continue/resolve/kill
+  /// outcome skeleton (used when the written object may be the tracked
+  /// one).
+  Outcome writtenValue(const ir::Location &Loc, const Condition &Cond);
+
+  /// May pointer \p U point to variable \p V just before \p M?
+  /// \p Definite is set when the FSCI set is the singleton {V}.
+  bool mayPointTo(ir::VarId U, ir::VarId V, ir::LocId M, bool &Definite);
+  /// May pointers \p U and \p S point to the same object before \p M?
+  bool mayAliasAt(ir::VarId U, ir::VarId S, ir::LocId M);
+
+  //===--------------------------------------------------------------===//
+  // FSCI machinery (Algorithm 3, demand-driven)
+  //===--------------------------------------------------------------===//
+
+  /// Memoized FSCI set if already computed; nullptr while unknown or
+  /// under computation (the constraint-branching fallback applies then).
+  const SparseBitVector *fsciIfKnown(ir::VarId V, ir::LocId Loc) const;
+
+  //===--------------------------------------------------------------===//
+  // Per-function modification info (for call splicing)
+  //===--------------------------------------------------------------===//
+
+  void buildModifyInfo();
+  bool mayModify(ir::FuncId G, ir::Ref Q);
+
+  //===--------------------------------------------------------------===//
+  // Skip compression
+  //===--------------------------------------------------------------===//
+
+  /// A location matters to backward traversals iff it carries a slice
+  /// statement, is a function entry (summary boundary), or is a call
+  /// into a function with (transitive) slice statements. Everything
+  /// else is a skip the paper's Prog_Q semantics erases.
+  bool isInteresting(ir::LocId L);
+
+  /// Nearest interesting locations reachable backwards from \p L
+  /// through skip locations only; memoized. Traversals jump across
+  /// skip regions in one step, which keeps query cost proportional to
+  /// the slice instead of the whole CFG.
+  const std::vector<ir::LocId> &interestingPreds(ir::LocId L);
+
+  //===--------------------------------------------------------------===//
+  // State
+  //===--------------------------------------------------------------===//
+
+  const ir::Program &Prog;
+  const ir::CallGraph &CG;
+  const analysis::SteensgaardAnalysis &Steens;
+  const core::Cluster &Clu;
+  Options Opts;
+
+  std::vector<uint8_t> InSlice; ///< Location -> in St_P.
+
+  std::vector<KeyState> Keys;
+  std::map<std::pair<ir::LocId, uint64_t>, KeyId> KeyIndex;
+  std::deque<KeyId> ActiveKeys;
+  std::vector<uint8_t> KeyActive;
+  /// Keys with fresh results whose waiters still need feeding. An
+  /// explicit queue, not recursion: result -> feed -> result chains can
+  /// be as long as the whole exploration and would overflow the stack.
+  std::deque<KeyId> PendingFeeds;
+  std::vector<uint8_t> FeedQueued;
+
+  /// Slice-local modification info per function (only functions with
+  /// slice statements appear), and the lazily computed transitive
+  /// closure per call-graph SCC component (drives the "can g modify q"
+  /// test of Algorithm 5). Lazy computation keeps per-cluster setup
+  /// proportional to the slice, not the whole program.
+  struct LocalModInfo {
+    SparseBitVector Assigned;
+    bool Store = false;
+  };
+  struct TransModInfo {
+    SparseBitVector Assigned;
+    bool Store = false;
+    bool Relevant = false;
+  };
+  std::unordered_map<ir::FuncId, LocalModInfo> LocalMod;
+  std::unordered_map<uint32_t, TransModInfo> TransMod; ///< By component.
+  const TransModInfo &transMod(uint32_t Component);
+  /// Partitions that something points to (pointed-to partitions can be
+  /// written through a store).
+  std::vector<uint8_t> PartitionHasPred;
+
+  std::unordered_map<ir::LocId, std::vector<ir::LocId>> SkipPredCache;
+  std::vector<uint8_t> InterestingCache; ///< 0 unknown, 1 no, 2 yes.
+
+  std::map<std::pair<ir::VarId, ir::LocId>, SparseBitVector> FsciMemo;
+  std::unordered_set<uint64_t> FsciInProgress; ///< Vars being computed.
+  SparseBitVector EmptySet;
+
+  uint64_t Steps = 0;
+  bool BudgetHit = false;
+  bool Approximated = false;
+};
+
+} // namespace fscs
+} // namespace bsaa
+
+#endif // BSAA_FSCS_SUMMARYENGINE_H

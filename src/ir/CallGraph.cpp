@@ -1,0 +1,62 @@
+//===- ir/CallGraph.cpp - Call graph with SCCs ----------------------------===//
+
+#include "ir/CallGraph.h"
+
+#include <algorithm>
+
+using namespace bsaa;
+using namespace bsaa::ir;
+
+CallGraph::CallGraph(const Program &P) : Prog(P) {
+  uint32_t N = P.numFuncs();
+  CalleeLists.resize(N);
+  CallerLists.resize(N);
+  CallLocs.resize(N);
+  SelfLoop.assign(N, 0);
+
+  for (LocId L = 0; L < P.numLocs(); ++L) {
+    const Location &Loc = P.loc(L);
+    if (!Loc.isCall())
+      continue;
+    FuncId Caller = Loc.Owner;
+    CallLocs[Caller].push_back(L);
+    for (FuncId Callee : Loc.Callees) {
+      if (Callee == Caller)
+        SelfLoop[Caller] = 1;
+      std::vector<FuncId> &Cs = CalleeLists[Caller];
+      if (std::find(Cs.begin(), Cs.end(), Callee) == Cs.end()) {
+        Cs.push_back(Callee);
+        CallerLists[Callee].push_back(Caller);
+      }
+    }
+  }
+
+  Sccs = computeSccs(N, [this](uint32_t F,
+                               const std::function<void(uint32_t)> &Visit) {
+    for (FuncId Callee : CalleeLists[F])
+      Visit(Callee);
+  });
+}
+
+std::vector<LocId> CallGraph::callSites(FuncId Caller, FuncId Callee) const {
+  std::vector<LocId> Sites;
+  for (LocId L : CallLocs[Caller]) {
+    const std::vector<FuncId> &Cs = Prog.loc(L).Callees;
+    if (std::find(Cs.begin(), Cs.end(), Callee) != Cs.end())
+      Sites.push_back(L);
+  }
+  return Sites;
+}
+
+bool CallGraph::isRecursive(FuncId F) const {
+  return SelfLoop[F] || Sccs.inNontrivialScc(F);
+}
+
+std::vector<FuncId> CallGraph::reverseTopologicalOrder() const {
+  std::vector<FuncId> Order;
+  Order.reserve(CalleeLists.size());
+  for (uint32_t C = 0; C < Sccs.numComponents(); ++C)
+    for (FuncId F : Sccs.Members[C])
+      Order.push_back(F);
+  return Order;
+}

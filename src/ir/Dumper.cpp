@@ -1,0 +1,115 @@
+//===- ir/Dumper.cpp - Textual IR dump ------------------------------------===//
+
+#include "ir/Dumper.h"
+
+#include <sstream>
+
+using namespace bsaa;
+using namespace bsaa::ir;
+
+std::string ir::dumpStatement(const Program &P, LocId Id) {
+  const Location &L = P.loc(Id);
+  std::ostringstream OS;
+  auto Name = [&P](VarId V) { return P.var(V).Name; };
+  switch (L.Kind) {
+  case StmtKind::Skip:
+    OS << "skip";
+    break;
+  case StmtKind::Copy:
+    OS << Name(L.Lhs) << " = " << Name(L.Rhs);
+    break;
+  case StmtKind::AddrOf:
+    OS << Name(L.Lhs) << " = &" << Name(L.Rhs);
+    break;
+  case StmtKind::Load:
+    OS << Name(L.Lhs) << " = *" << Name(L.Rhs);
+    break;
+  case StmtKind::Store:
+    OS << "*" << Name(L.Lhs) << " = " << Name(L.Rhs);
+    break;
+  case StmtKind::Alloc:
+    OS << Name(L.Lhs) << " = &" << Name(L.Rhs) << " /*malloc*/";
+    break;
+  case StmtKind::Nullify:
+    OS << Name(L.Lhs) << " = NULL";
+    break;
+  case StmtKind::Call: {
+    OS << "call ";
+    if (L.IndirectTarget != InvalidVar)
+      OS << "*" << Name(L.IndirectTarget) << " -> {";
+    bool First = true;
+    for (FuncId F : L.Callees) {
+      if (!First)
+        OS << ", ";
+      OS << P.func(F).Name;
+      First = false;
+    }
+    if (L.IndirectTarget != InvalidVar)
+      OS << "}";
+    break;
+  }
+  case StmtKind::Branch:
+    OS << "branch";
+    break;
+  case StmtKind::Return:
+    OS << "return";
+    break;
+  case StmtKind::Lock:
+    OS << "lock(" << Name(L.Lhs) << ")";
+    break;
+  case StmtKind::Unlock:
+    OS << "unlock(" << Name(L.Lhs) << ")";
+    break;
+  }
+  return OS.str();
+}
+
+std::string ir::dumpFunction(const Program &P, FuncId F) {
+  const Function &Fn = P.func(F);
+  std::ostringstream OS;
+  OS << "func " << Fn.Name << "(";
+  for (size_t I = 0; I < Fn.Params.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << P.var(Fn.Params[I]).Name;
+  }
+  OS << ") {\n";
+  for (LocId L : Fn.Locations) {
+    const Location &Loc = P.loc(L);
+    OS << "  L" << L;
+    if (!Loc.Label.empty())
+      OS << " [" << Loc.Label << "]";
+    OS << ": " << dumpStatement(P, L);
+    if (L == Fn.Entry)
+      OS << "  ; entry";
+    if (L == Fn.Exit)
+      OS << "  ; exit";
+    OS << "  -> ";
+    for (size_t I = 0; I < Loc.Succs.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << "L" << Loc.Succs[I];
+    }
+    OS << "\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string ir::dumpProgram(const Program &P) {
+  std::ostringstream OS;
+  OS << "; program: " << P.numVars() << " vars (" << P.numPointers()
+     << " pointers), " << P.numFuncs() << " funcs, " << P.numLocs()
+     << " locations\n";
+  for (VarId V = 0; V < P.numVars(); ++V) {
+    const Variable &Var = P.var(V);
+    if (Var.Kind == VarKind::Global || Var.Kind == VarKind::AllocSite ||
+        Var.Kind == VarKind::FunctionObj) {
+      OS << "; v" << V << " " << Var.Name << " depth=" << int(Var.PtrDepth)
+         << "\n";
+    }
+  }
+  for (FuncId F = 0; F < P.numFuncs(); ++F)
+    OS << dumpFunction(P, F);
+  return OS.str();
+}

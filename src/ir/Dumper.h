@@ -1,0 +1,35 @@
+//===- ir/Dumper.h - Textual IR dump ----------------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Program (or parts of it) as readable text for tests,
+/// examples, and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_IR_DUMPER_H
+#define BSAA_IR_DUMPER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace bsaa {
+namespace ir {
+
+/// Renders one statement, e.g. "x = &y" or "call foo".
+std::string dumpStatement(const Program &P, LocId L);
+
+/// Renders one function with CFG successor annotations.
+std::string dumpFunction(const Program &P, FuncId F);
+
+/// Renders the whole program.
+std::string dumpProgram(const Program &P);
+
+} // namespace ir
+} // namespace bsaa
+
+#endif // BSAA_IR_DUMPER_H

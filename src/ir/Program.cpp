@@ -1,0 +1,176 @@
+//===- ir/Program.cpp - Normalized pointer program IR ---------------------===//
+
+#include "ir/Ir.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace bsaa;
+using namespace bsaa::ir;
+
+const char *ir::stmtKindName(StmtKind K) {
+  switch (K) {
+  case StmtKind::Skip:
+    return "skip";
+  case StmtKind::Copy:
+    return "copy";
+  case StmtKind::AddrOf:
+    return "addrof";
+  case StmtKind::Load:
+    return "load";
+  case StmtKind::Store:
+    return "store";
+  case StmtKind::Alloc:
+    return "alloc";
+  case StmtKind::Nullify:
+    return "nullify";
+  case StmtKind::Call:
+    return "call";
+  case StmtKind::Branch:
+    return "branch";
+  case StmtKind::Return:
+    return "return";
+  case StmtKind::Lock:
+    return "lock";
+  case StmtKind::Unlock:
+    return "unlock";
+  }
+  return "<bad>";
+}
+
+VarId Program::addVariable(Variable V) {
+  VarId Id = static_cast<VarId>(Vars.size());
+  Vars.push_back(std::move(V));
+  return Id;
+}
+
+FuncId Program::addFunction(std::string Name) {
+  FuncId Id = static_cast<FuncId>(Funcs.size());
+  Function F;
+  F.Name = std::move(Name);
+  F.Id = Id;
+  Funcs.push_back(std::move(F));
+  // Entry and exit markers so every function body has unique, statement-
+  // free boundary locations (summaries are anchored on them).
+  Location Entry;
+  Entry.Kind = StmtKind::Skip;
+  Entry.Owner = Id;
+  Funcs[Id].Entry = addLocation(Id, std::move(Entry));
+  Location Exit;
+  Exit.Kind = StmtKind::Skip;
+  Exit.Owner = Id;
+  Funcs[Id].Exit = addLocation(Id, std::move(Exit));
+  return Id;
+}
+
+LocId Program::addLocation(FuncId F, Location L) {
+  assert(F < Funcs.size() && "bad function");
+  LocId Id = static_cast<LocId>(Locs.size());
+  L.Owner = F;
+  Locs.push_back(std::move(L));
+  Funcs[F].Locations.push_back(Id);
+  return Id;
+}
+
+void Program::addEdge(LocId From, LocId To) {
+  assert(From < Locs.size() && To < Locs.size() && "bad location");
+  std::vector<LocId> &Succs = Locs[From].Succs;
+  if (std::find(Succs.begin(), Succs.end(), To) != Succs.end())
+    return;
+  Succs.push_back(To);
+  Locs[To].Preds.push_back(From);
+}
+
+uint32_t Program::numPointers() const {
+  uint32_t N = 0;
+  for (const Variable &V : Vars)
+    if (V.isPointer())
+      ++N;
+  return N;
+}
+
+FuncId Program::findFunction(const std::string &Name) const {
+  for (const Function &F : Funcs)
+    if (F.Name == Name)
+      return F.Id;
+  return InvalidFunc;
+}
+
+VarId Program::findVariable(const std::string &Name) const {
+  for (VarId Id = 0; Id < Vars.size(); ++Id)
+    if (Vars[Id].Name == Name)
+      return Id;
+  return InvalidVar;
+}
+
+LocId Program::findLabel(const std::string &Label) const {
+  for (LocId Id = 0; Id < Locs.size(); ++Id)
+    if (Locs[Id].Label == Label)
+      return Id;
+  return InvalidLoc;
+}
+
+bool Program::verify(std::string *Error) const {
+  auto Fail = [Error](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+
+  for (LocId Id = 0; Id < Locs.size(); ++Id) {
+    const Location &L = Locs[Id];
+    if (L.Owner >= Funcs.size())
+      return Fail("location " + std::to_string(Id) + " has bad owner");
+    for (LocId S : L.Succs) {
+      if (S >= Locs.size())
+        return Fail("location " + std::to_string(Id) + " has bad succ");
+      if (Locs[S].Owner != L.Owner)
+        return Fail("edge crosses function boundary at location " +
+                    std::to_string(Id));
+      const std::vector<LocId> &Preds = Locs[S].Preds;
+      if (std::find(Preds.begin(), Preds.end(), Id) == Preds.end())
+        return Fail("succ/pred mismatch at location " + std::to_string(Id));
+    }
+    if (L.isPointerAssign()) {
+      if (L.Lhs == InvalidVar || L.Lhs >= Vars.size())
+        return Fail("assignment with bad lhs at location " +
+                    std::to_string(Id));
+      if (L.Kind != StmtKind::Nullify &&
+          (L.Rhs == InvalidVar || L.Rhs >= Vars.size()))
+        return Fail("assignment with bad rhs at location " +
+                    std::to_string(Id));
+    }
+    if (L.isCall()) {
+      for (FuncId C : L.Callees)
+        if (C >= Funcs.size())
+          return Fail("call with bad callee at location " +
+                      std::to_string(Id));
+    }
+  }
+
+  for (const Function &F : Funcs) {
+    if (F.Entry == InvalidLoc || F.Exit == InvalidLoc)
+      return Fail("function " + F.Name + " lacks entry/exit");
+    if (Locs[F.Entry].Owner != F.Id || Locs[F.Exit].Owner != F.Id)
+      return Fail("function " + F.Name + " entry/exit owner mismatch");
+    for (VarId P : F.Params)
+      if (P >= Vars.size() || Vars[P].Kind != VarKind::Param)
+        return Fail("function " + F.Name + " has bad param");
+  }
+
+  if (EntryFunc != InvalidFunc && EntryFunc >= Funcs.size())
+    return Fail("bad entry function");
+  return true;
+}
+
+std::string ir::refToString(const Program &P, Ref R) {
+  if (!R.valid())
+    return "<invalid>";
+  std::ostringstream OS;
+  if (R.Deref < 0)
+    OS << "&";
+  for (int I = 0; I < R.Deref; ++I)
+    OS << "*";
+  OS << P.var(R.Var).Name;
+  return OS.str();
+}

@@ -1,0 +1,173 @@
+//===- racedetect/RaceDetect.cpp - Lockset-based race detection -----------===//
+
+#include "racedetect/RaceDetect.h"
+
+#include "core/RelevantStatements.h"
+#include "fscs/ClusterAliasAnalysis.h"
+#include "support/Worklist.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bsaa;
+using namespace bsaa::racedetect;
+using namespace bsaa::ir;
+
+RaceDetector::RaceDetector(const Program &P, Options Opts)
+    : Prog(P), Opts(Opts), CG(P), Steens(P) {}
+
+RaceDetector::RaceDetector(const Program &P)
+    : RaceDetector(P, Options()) {}
+
+void RaceDetector::run() {
+  Steens.run();
+  findLockClusters();
+  resolveLockOperations();
+  computeLocksets();
+  findRaces();
+  HasRun = true;
+}
+
+void RaceDetector::findLockClusters() {
+  // As the paper observes, a lock pointer can only alias another lock
+  // pointer, so the partitions containing lock pointers are comprised
+  // solely of lock pointers (plus the lock objects they reach).
+  std::set<uint32_t> Parts;
+  for (VarId V = 0; V < Prog.numVars(); ++V)
+    if (Prog.var(V).isLockPointer())
+      Parts.insert(Steens.partitionOf(V));
+
+  core::SliceIndex Index(Prog, Steens);
+  for (uint32_t Part : Parts) {
+    core::Cluster C;
+    C.Members = Steens.partitionMembers(Part);
+    C.SourcePartition = Part;
+    core::attachRelevantSlice(Prog, Steens, C, Index);
+    LockClusters.push_back(std::move(C));
+  }
+}
+
+void RaceDetector::resolveLockOperations() {
+  // Group lock/unlock locations by the cluster of their operand, then
+  // resolve each to a concrete lock object via must-points-to.
+  for (core::Cluster &C : LockClusters) {
+    fscs::SummaryEngine::Options EngineOpts;
+    EngineOpts.StepBudget = Opts.StepBudget;
+    fscs::ClusterAliasAnalysis AA(Prog, CG, Steens, C, EngineOpts);
+    for (LocId L = 0; L < Prog.numLocs(); ++L) {
+      const Location &Loc = Prog.loc(L);
+      if (Loc.Kind != StmtKind::Lock && Loc.Kind != StmtKind::Unlock)
+        continue;
+      if (!C.containsMember(Loc.Lhs))
+        continue;
+      fscs::ClusterAliasAnalysis::PointsToResult R =
+          AA.pointsTo(Loc.Lhs, L);
+      if (R.Complete && R.Objects.size() == 1)
+        ResolvedLocks[L] = R.Objects[0];
+    }
+  }
+}
+
+void RaceDetector::computeLocksets() {
+  // Forward must-held dataflow per function: meet is intersection,
+  // Lock adds its resolved object, Unlock removes it. An unresolved
+  // lock operation contributes nothing (conservative for race
+  // *finding*: fewer held locks, more reported pairs).
+  uint32_t N = Prog.numLocs();
+  Held.assign(N, {});
+  std::vector<uint8_t> Reached(N, 0);
+
+  for (FuncId F = 0; F < Prog.numFuncs(); ++F) {
+    const Function &Fn = Prog.func(F);
+    Worklist WL(N);
+    Reached[Fn.Entry] = 1;
+    WL.push(Fn.Entry);
+    while (!WL.empty()) {
+      LocId L = WL.pop();
+      const Location &Loc = Prog.loc(L);
+      // Out-set of L.
+      std::set<VarId> Out = Held[L];
+      auto It = ResolvedLocks.find(L);
+      if (Loc.Kind == StmtKind::Lock && It != ResolvedLocks.end())
+        Out.insert(It->second);
+      if (Loc.Kind == StmtKind::Unlock && It != ResolvedLocks.end())
+        Out.erase(It->second);
+
+      for (LocId S : Loc.Succs) {
+        bool Changed = false;
+        if (!Reached[S]) {
+          Reached[S] = 1;
+          Held[S] = Out;
+          Changed = true;
+        } else {
+          // Meet: intersection.
+          std::set<VarId> Met;
+          std::set_intersection(Held[S].begin(), Held[S].end(),
+                                Out.begin(), Out.end(),
+                                std::inserter(Met, Met.begin()));
+          if (Met != Held[S]) {
+            Held[S] = std::move(Met);
+            Changed = true;
+          }
+        }
+        if (Changed)
+          WL.push(S);
+      }
+    }
+  }
+}
+
+void RaceDetector::findRaces() {
+  // Shared variables: global plain ints. Accesses: any statement
+  // reading or writing one.
+  std::vector<uint8_t> IsShared(Prog.numVars(), 0);
+  for (VarId V = 0; V < Prog.numVars(); ++V) {
+    const Variable &Var = Prog.var(V);
+    if (Var.Kind == VarKind::Global && !Var.isPointer() &&
+        Var.Base == BaseType::Int) {
+      IsShared[V] = 1;
+      Shared.push_back(V);
+    }
+  }
+
+  std::map<VarId, std::vector<LocId>> Accesses;
+  for (LocId L = 0; L < Prog.numLocs(); ++L) {
+    const Location &Loc = Prog.loc(L);
+    if (!Loc.isPointerAssign())
+      continue;
+    if (Loc.Lhs != InvalidVar && IsShared[Loc.Lhs])
+      Accesses[Loc.Lhs].push_back(L);
+    if (Loc.Rhs != InvalidVar && Loc.Kind == StmtKind::Copy &&
+        IsShared[Loc.Rhs])
+      Accesses[Loc.Rhs].push_back(L);
+  }
+
+  for (auto &[Var, Locs] : Accesses) {
+    for (size_t I = 0; I < Locs.size(); ++I) {
+      for (size_t J = I + 1; J < Locs.size(); ++J) {
+        const std::set<VarId> &A = Held[Locs[I]];
+        const std::set<VarId> &B = Held[Locs[J]];
+        bool Disjoint = true;
+        for (VarId L : A)
+          if (B.count(L)) {
+            Disjoint = false;
+            break;
+          }
+        if (Disjoint)
+          Races.push_back(Race{Var, Locs[I], Locs[J]});
+      }
+    }
+  }
+}
+
+VarId RaceDetector::resolvedLock(LocId L) const {
+  auto It = ResolvedLocks.find(L);
+  return It == ResolvedLocks.end() ? InvalidVar : It->second;
+}
+
+const std::set<VarId> &RaceDetector::locksHeldAt(LocId L) const {
+  assert(HasRun && "query before run()");
+  if (L >= Held.size())
+    return EmptySet;
+  return Held[L];
+}

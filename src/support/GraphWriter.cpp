@@ -1,0 +1,44 @@
+//===- support/GraphWriter.cpp - DOT emission -----------------------------===//
+
+#include "support/GraphWriter.h"
+
+#include <sstream>
+
+using namespace bsaa;
+
+void GraphWriter::addNode(const std::string &Id, const std::string &Label) {
+  Nodes.emplace_back(Id, Label);
+}
+
+void GraphWriter::addEdge(const std::string &From, const std::string &To,
+                          const std::string &Label) {
+  Edges.push_back(Edge{From, To, Label});
+}
+
+std::string GraphWriter::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+std::string GraphWriter::str() const {
+  std::ostringstream OS;
+  OS << "digraph \"" << escape(Name) << "\" {\n";
+  OS << "  node [shape=box];\n";
+  for (const auto &[Id, Label] : Nodes)
+    OS << "  \"" << escape(Id) << "\" [label=\"" << escape(Label)
+       << "\"];\n";
+  for (const Edge &E : Edges) {
+    OS << "  \"" << escape(E.From) << "\" -> \"" << escape(E.To) << "\"";
+    if (!E.Label.empty())
+      OS << " [label=\"" << escape(E.Label) << "\"]";
+    OS << ";\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

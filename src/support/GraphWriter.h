@@ -1,0 +1,50 @@
+//===- support/GraphWriter.h - DOT emission ---------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny builder for Graphviz DOT text. Used by the figure benches and the
+/// cluster-explorer example to emit Steensgaard / Andersen points-to
+/// graphs (paper Figure 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_GRAPHWRITER_H
+#define BSAA_SUPPORT_GRAPHWRITER_H
+
+#include <string>
+#include <vector>
+
+namespace bsaa {
+
+/// Accumulates nodes and edges, then renders a digraph.
+class GraphWriter {
+public:
+  explicit GraphWriter(std::string Name) : Name(std::move(Name)) {}
+
+  /// Adds a node with a display label.
+  void addNode(const std::string &Id, const std::string &Label);
+
+  /// Adds a directed edge, optionally labeled.
+  void addEdge(const std::string &From, const std::string &To,
+               const std::string &Label = "");
+
+  /// Renders the accumulated graph as DOT text.
+  std::string str() const;
+
+private:
+  static std::string escape(const std::string &S);
+
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Nodes;
+  struct Edge {
+    std::string From, To, Label;
+  };
+  std::vector<Edge> Edges;
+};
+
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_GRAPHWRITER_H

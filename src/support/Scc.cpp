@@ -1,0 +1,99 @@
+//===- support/Scc.cpp - Tarjan strongly connected components -------------===//
+
+#include "support/Scc.h"
+
+#include <cassert>
+
+using namespace bsaa;
+
+namespace {
+
+constexpr uint32_t Unvisited = UINT32_MAX;
+
+struct Frame {
+  uint32_t Node;
+  uint32_t SuccIdx; // Index into the materialized successor list.
+};
+
+} // namespace
+
+SccResult bsaa::computeSccs(
+    uint32_t NumNodes,
+    const std::function<void(uint32_t, const std::function<void(uint32_t)> &)>
+        &ForEachSucc) {
+  SccResult Result;
+  Result.Component.assign(NumNodes, Unvisited);
+
+  std::vector<uint32_t> Index(NumNodes, Unvisited);
+  std::vector<uint32_t> LowLink(NumNodes, 0);
+  std::vector<uint8_t> OnStack(NumNodes, 0);
+  std::vector<uint32_t> Stack;
+  std::vector<Frame> CallStack;
+  // Successors are materialized per frame; SuccLists[depth] holds the
+  // successors of CallStack[depth].Node.
+  std::vector<std::vector<uint32_t>> SuccLists;
+  uint32_t NextIndex = 0;
+
+  for (uint32_t Root = 0; Root < NumNodes; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+
+    CallStack.push_back(Frame{Root, 0});
+    SuccLists.emplace_back();
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+    ForEachSucc(Root,
+                [&](uint32_t S) { SuccLists.back().push_back(S); });
+
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      std::vector<uint32_t> &Succs = SuccLists.back();
+      if (F.SuccIdx < Succs.size()) {
+        uint32_t S = Succs[F.SuccIdx++];
+        assert(S < NumNodes && "successor out of range");
+        if (Index[S] == Unvisited) {
+          // "Recurse" into S.
+          CallStack.push_back(Frame{S, 0});
+          SuccLists.emplace_back();
+          Index[S] = LowLink[S] = NextIndex++;
+          Stack.push_back(S);
+          OnStack[S] = 1;
+          ForEachSucc(S,
+                      [&](uint32_t T) { SuccLists.back().push_back(T); });
+        } else if (OnStack[S]) {
+          if (Index[S] < LowLink[F.Node])
+            LowLink[F.Node] = Index[S];
+        }
+        continue;
+      }
+
+      // All successors handled; maybe pop a component rooted here.
+      uint32_t Node = F.Node;
+      if (LowLink[Node] == Index[Node]) {
+        std::vector<uint32_t> Members;
+        uint32_t Comp = Result.numComponents();
+        while (true) {
+          uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = 0;
+          Result.Component[W] = Comp;
+          Members.push_back(W);
+          if (W == Node)
+            break;
+        }
+        Result.Members.push_back(std::move(Members));
+      }
+
+      CallStack.pop_back();
+      SuccLists.pop_back();
+      if (!CallStack.empty()) {
+        uint32_t Parent = CallStack.back().Node;
+        if (LowLink[Node] < LowLink[Parent])
+          LowLink[Parent] = LowLink[Node];
+      }
+    }
+  }
+
+  return Result;
+}

@@ -1,0 +1,60 @@
+//===- support/Scc.h - Tarjan strongly connected components -----*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative Tarjan SCC over a dense graph given as an adjacency callback.
+/// Used twice in the system: to process the call graph in reverse
+/// topological order (summary computation, Algorithm 5) and to collapse
+/// cycles in Andersen's constraint graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_SCC_H
+#define BSAA_SUPPORT_SCC_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace bsaa {
+
+/// Result of an SCC decomposition of a graph with dense node ids.
+struct SccResult {
+  /// Component index of each node. Components are numbered in *reverse
+  /// topological order of the condensation*: if there is an edge from a
+  /// node in component A to a node in component B (A != B), then
+  /// Component[a] > Component[b]. Processing components 0, 1, 2, ... thus
+  /// visits callees before callers, which is the order Algorithm 5 needs.
+  std::vector<uint32_t> Component;
+
+  /// Members of each component.
+  std::vector<std::vector<uint32_t>> Members;
+
+  uint32_t numComponents() const {
+    return static_cast<uint32_t>(Members.size());
+  }
+
+  /// True if \p Node is in a component with more than one member, or has a
+  /// self-loop recorded by the caller (self-loops are not visible here).
+  bool inNontrivialScc(uint32_t Node) const {
+    return Members[Component[Node]].size() > 1;
+  }
+};
+
+/// Computes SCCs of the graph with nodes [0, NumNodes) and successor
+/// enumeration \p ForEachSucc(Node, Visit) where `Visit(Succ)` is called
+/// for every successor.
+///
+/// Iterative (explicit stack) so deep graphs cannot overflow the call
+/// stack.
+SccResult computeSccs(
+    uint32_t NumNodes,
+    const std::function<void(uint32_t, const std::function<void(uint32_t)> &)>
+        &ForEachSucc);
+
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_SCC_H

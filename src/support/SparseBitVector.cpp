@@ -1,0 +1,175 @@
+//===- support/SparseBitVector.cpp - Sparse bit set -----------------------===//
+
+#include "support/SparseBitVector.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bsaa;
+
+size_t SparseBitVector::lowerBound(uint32_t Base) const {
+  size_t Lo = 0, Hi = Chunks.size();
+  while (Lo < Hi) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Chunks[Mid].Base < Base)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+bool SparseBitVector::set(uint32_t Idx) {
+  uint32_t Base = Idx / 64;
+  uint64_t Mask = uint64_t(1) << (Idx % 64);
+  size_t Pos = lowerBound(Base);
+  if (Pos < Chunks.size() && Chunks[Pos].Base == Base) {
+    if (Chunks[Pos].Bits & Mask)
+      return false;
+    Chunks[Pos].Bits |= Mask;
+    return true;
+  }
+  Chunks.insert(Chunks.begin() + Pos, Chunk{Base, Mask});
+  return true;
+}
+
+bool SparseBitVector::reset(uint32_t Idx) {
+  uint32_t Base = Idx / 64;
+  uint64_t Mask = uint64_t(1) << (Idx % 64);
+  size_t Pos = lowerBound(Base);
+  if (Pos >= Chunks.size() || Chunks[Pos].Base != Base ||
+      !(Chunks[Pos].Bits & Mask))
+    return false;
+  Chunks[Pos].Bits &= ~Mask;
+  if (Chunks[Pos].Bits == 0)
+    Chunks.erase(Chunks.begin() + Pos);
+  return true;
+}
+
+bool SparseBitVector::test(uint32_t Idx) const {
+  uint32_t Base = Idx / 64;
+  size_t Pos = lowerBound(Base);
+  if (Pos >= Chunks.size() || Chunks[Pos].Base != Base)
+    return false;
+  return (Chunks[Pos].Bits >> (Idx % 64)) & 1;
+}
+
+bool SparseBitVector::unionWith(const SparseBitVector &Other) {
+  if (Other.Chunks.empty())
+    return false;
+  bool Changed = false;
+  std::vector<Chunk> Merged;
+  Merged.reserve(Chunks.size() + Other.Chunks.size());
+  size_t I = 0, J = 0;
+  while (I < Chunks.size() && J < Other.Chunks.size()) {
+    if (Chunks[I].Base < Other.Chunks[J].Base) {
+      Merged.push_back(Chunks[I++]);
+    } else if (Chunks[I].Base > Other.Chunks[J].Base) {
+      Merged.push_back(Other.Chunks[J++]);
+      Changed = true;
+    } else {
+      uint64_t Bits = Chunks[I].Bits | Other.Chunks[J].Bits;
+      if (Bits != Chunks[I].Bits)
+        Changed = true;
+      Merged.push_back(Chunk{Chunks[I].Base, Bits});
+      ++I;
+      ++J;
+    }
+  }
+  for (; I < Chunks.size(); ++I)
+    Merged.push_back(Chunks[I]);
+  for (; J < Other.Chunks.size(); ++J) {
+    Merged.push_back(Other.Chunks[J]);
+    Changed = true;
+  }
+  if (Changed)
+    Chunks = std::move(Merged);
+  return Changed;
+}
+
+bool SparseBitVector::intersectWith(const SparseBitVector &Other) {
+  bool Changed = false;
+  std::vector<Chunk> Out;
+  size_t I = 0, J = 0;
+  while (I < Chunks.size() && J < Other.Chunks.size()) {
+    if (Chunks[I].Base < Other.Chunks[J].Base) {
+      ++I;
+      Changed = true;
+    } else if (Chunks[I].Base > Other.Chunks[J].Base) {
+      ++J;
+    } else {
+      uint64_t Bits = Chunks[I].Bits & Other.Chunks[J].Bits;
+      if (Bits != Chunks[I].Bits)
+        Changed = true;
+      if (Bits)
+        Out.push_back(Chunk{Chunks[I].Base, Bits});
+      ++I;
+      ++J;
+    }
+  }
+  if (I < Chunks.size())
+    Changed = true;
+  if (Changed)
+    Chunks = std::move(Out);
+  return Changed;
+}
+
+bool SparseBitVector::intersects(const SparseBitVector &Other) const {
+  size_t I = 0, J = 0;
+  while (I < Chunks.size() && J < Other.Chunks.size()) {
+    if (Chunks[I].Base < Other.Chunks[J].Base)
+      ++I;
+    else if (Chunks[I].Base > Other.Chunks[J].Base)
+      ++J;
+    else if (Chunks[I].Bits & Other.Chunks[J].Bits)
+      return true;
+    else {
+      ++I;
+      ++J;
+    }
+  }
+  return false;
+}
+
+bool SparseBitVector::isSubsetOf(const SparseBitVector &Other) const {
+  size_t J = 0;
+  for (const Chunk &C : Chunks) {
+    while (J < Other.Chunks.size() && Other.Chunks[J].Base < C.Base)
+      ++J;
+    if (J >= Other.Chunks.size() || Other.Chunks[J].Base != C.Base)
+      return false;
+    if (C.Bits & ~Other.Chunks[J].Bits)
+      return false;
+  }
+  return true;
+}
+
+uint32_t SparseBitVector::count() const {
+  uint32_t N = 0;
+  for (const Chunk &C : Chunks)
+    N += static_cast<uint32_t>(__builtin_popcountll(C.Bits));
+  return N;
+}
+
+std::vector<uint32_t> SparseBitVector::toVector() const {
+  std::vector<uint32_t> Out;
+  Out.reserve(count());
+  forEach([&Out](uint32_t E) { Out.push_back(E); });
+  return Out;
+}
+
+uint64_t SparseBitVector::hash() const {
+  // FNV-1a over the chunk stream.
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xff;
+      H *= 0x100000001b3ull;
+    }
+  };
+  for (const Chunk &C : Chunks) {
+    Mix(C.Base);
+    Mix(C.Bits);
+  }
+  return H;
+}

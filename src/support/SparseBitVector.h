@@ -1,0 +1,106 @@
+//===- support/SparseBitVector.h - Sparse bit set ---------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse bit vector: a sorted vector of (word-index, 64-bit word) pairs.
+/// Points-to sets in Andersen's analysis are unions of many mostly-small
+/// sets over a large universe, which is exactly the workload this layout
+/// is good at: union is a linear merge, and memory stays proportional to
+/// the number of set bits (within a factor of 64).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_SPARSEBITVECTOR_H
+#define BSAA_SUPPORT_SPARSEBITVECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bsaa {
+
+/// Set of uint32 values stored as sorted 64-bit chunks.
+class SparseBitVector {
+public:
+  SparseBitVector() = default;
+
+  /// Inserts \p Idx; returns true if it was newly inserted.
+  bool set(uint32_t Idx);
+
+  /// Removes \p Idx; returns true if it was present.
+  bool reset(uint32_t Idx);
+
+  /// Returns true if \p Idx is in the set.
+  bool test(uint32_t Idx) const;
+
+  /// Union-into: adds all elements of \p Other; returns true if this set
+  /// changed. The hot operation of constraint solving.
+  bool unionWith(const SparseBitVector &Other);
+
+  /// Intersect-into: keeps only elements also in \p Other; returns true if
+  /// this set changed.
+  bool intersectWith(const SparseBitVector &Other);
+
+  /// Returns true if this set and \p Other share at least one element.
+  bool intersects(const SparseBitVector &Other) const;
+
+  /// Returns true if every element of this set is in \p Other.
+  bool isSubsetOf(const SparseBitVector &Other) const;
+
+  /// Removes all elements.
+  void clear() { Chunks.clear(); }
+
+  /// Returns true if the set is empty.
+  bool empty() const { return Chunks.empty(); }
+
+  /// Number of elements (popcount over all chunks).
+  uint32_t count() const;
+
+  /// Materializes the elements in ascending order.
+  std::vector<uint32_t> toVector() const;
+
+  /// Calls \p Fn(Element) for each element in ascending order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (const Chunk &C : Chunks) {
+      uint64_t Bits = C.Bits;
+      while (Bits) {
+        uint32_t Bit = static_cast<uint32_t>(__builtin_ctzll(Bits));
+        Fn(C.Base * 64 + Bit);
+        Bits &= Bits - 1;
+      }
+    }
+  }
+
+  bool operator==(const SparseBitVector &Other) const {
+    return Chunks == Other.Chunks;
+  }
+  bool operator!=(const SparseBitVector &Other) const {
+    return !(*this == Other);
+  }
+
+  /// Deterministic hash usable for caching (e.g. dedup of identical
+  /// points-to sets).
+  uint64_t hash() const;
+
+private:
+  struct Chunk {
+    uint32_t Base = 0; ///< Element range [Base*64, Base*64+64).
+    uint64_t Bits = 0;
+    bool operator==(const Chunk &O) const {
+      return Base == O.Base && Bits == O.Bits;
+    }
+  };
+
+  /// Sorted by Base, no chunk has Bits == 0.
+  std::vector<Chunk> Chunks;
+
+  /// Index of the chunk with base \p Base, or the insertion point.
+  size_t lowerBound(uint32_t Base) const;
+};
+
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_SPARSEBITVECTOR_H

@@ -1,0 +1,45 @@
+//===- support/Statistics.cpp - Named counters ----------------------------===//
+
+#include "support/Statistics.h"
+
+#include <sstream>
+
+using namespace bsaa;
+
+Statistics &Statistics::global() {
+  static Statistics Instance;
+  return Instance;
+}
+
+void Statistics::add(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters[Name] += Delta;
+}
+
+void Statistics::set(const std::string &Name, uint64_t Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters[Name] = Value;
+}
+
+uint64_t Statistics::get(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+void Statistics::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters.clear();
+}
+
+std::vector<std::pair<std::string, uint64_t>> Statistics::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return {Counters.begin(), Counters.end()};
+}
+
+std::string Statistics::toString() const {
+  std::ostringstream OS;
+  for (const auto &[Name, Value] : snapshot())
+    OS << Name << " = " << Value << "\n";
+  return OS.str();
+}

@@ -1,0 +1,57 @@
+//===- support/Statistics.h - Named counters --------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named counters, in the spirit of LLVM's Statistic class.
+/// Analyses bump counters (constraints processed, summary tuples created,
+/// worklist iterations, ...) and tools dump them at exit for ablation
+/// benches and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_STATISTICS_H
+#define BSAA_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bsaa {
+
+/// Thread-safe registry of named uint64 counters.
+class Statistics {
+public:
+  /// The process-wide registry.
+  static Statistics &global();
+
+  /// Adds \p Delta to counter \p Name (creating it at zero).
+  void add(const std::string &Name, uint64_t Delta = 1);
+
+  /// Sets counter \p Name to \p Value.
+  void set(const std::string &Name, uint64_t Value);
+
+  /// Current value of \p Name (0 if never touched).
+  uint64_t get(const std::string &Name) const;
+
+  /// Resets every counter to zero.
+  void clear();
+
+  /// Snapshot of all counters in name order.
+  std::vector<std::pair<std::string, uint64_t>> snapshot() const;
+
+  /// Renders "name = value" lines.
+  std::string toString() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_STATISTICS_H

@@ -1,0 +1,26 @@
+//===- support/StringInterner.cpp - String uniquing -----------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace bsaa;
+
+StringId StringInterner::intern(std::string_view Text) {
+  auto It = Ids.find(std::string(Text));
+  if (It != Ids.end())
+    return It->second;
+  StringId Id = static_cast<StringId>(Texts.size());
+  Texts.emplace_back(Text);
+  Ids.emplace(Texts.back(), Id);
+  return Id;
+}
+
+const std::string &StringInterner::text(StringId Id) const {
+  assert(Id < Texts.size() && "string id out of range");
+  return Texts[Id];
+}
+
+bool StringInterner::contains(std::string_view Text) const {
+  return Ids.count(std::string(Text)) != 0;
+}

@@ -1,0 +1,60 @@
+//===- support/StringInterner.h - String uniquing ---------------*- C++ -*-===//
+//
+// Part of the bsaa project: a reproduction of Kahlon, "Bootstrapping: A
+// Technique for Scalable Flow and Context-Sensitive Pointer Alias
+// Analysis", PLDI 2008.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into dense 32-bit ids so the rest of the system can key
+/// maps and sets on integers instead of strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_STRINGINTERNER_H
+#define BSAA_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bsaa {
+
+/// A dense id assigned to an interned string. Ids are allocated
+/// consecutively from zero, so they can index vectors directly.
+using StringId = uint32_t;
+
+/// Maps strings to dense ids and back.
+///
+/// Interning the same string twice returns the same id. Lookup of an id is
+/// O(1); interning is amortized O(length).
+class StringInterner {
+public:
+  StringInterner() = default;
+
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+
+  /// Returns the id for \p Text, allocating a new one on first sight.
+  StringId intern(std::string_view Text);
+
+  /// Returns the text for a previously allocated \p Id.
+  const std::string &text(StringId Id) const;
+
+  /// Returns true if \p Text has been interned before.
+  bool contains(std::string_view Text) const;
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return Texts.size(); }
+
+private:
+  std::unordered_map<std::string, StringId> Ids;
+  std::vector<std::string> Texts;
+};
+
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_STRINGINTERNER_H

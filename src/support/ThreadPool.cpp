@@ -1,0 +1,64 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace bsaa;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  JobAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Jobs.push_back(std::move(Job));
+    ++Pending;
+  }
+  JobAvailable.notify_one();
+}
+
+void ThreadPool::waitAll() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Pending == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      JobAvailable.wait(Lock,
+                        [this] { return ShuttingDown || !Jobs.empty(); });
+      if (Jobs.empty()) {
+        // ShuttingDown with an empty queue: exit.
+        return;
+      }
+      Job = std::move(Jobs.front());
+      Jobs.pop_front();
+    }
+    Job();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      --Pending;
+      if (Pending == 0)
+        AllDone.notify_all();
+    }
+  }
+}

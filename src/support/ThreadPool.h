@@ -1,0 +1,64 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size thread pool. The bootstrapping framework analyzes
+/// pointer clusters independently of one another (the paper's key
+/// parallelization claim), so the scheduler only needs fire-and-wait
+/// batch semantics: submit N cluster jobs, wait for all of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_THREADPOOL_H
+#define BSAA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsaa {
+
+/// Fixed-size pool of worker threads executing queued jobs.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers (0 means hardware concurrency, min 1).
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Waits for all pending work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Job for execution on some worker.
+  void submit(std::function<void()> Job);
+
+  /// Blocks until every submitted job has finished.
+  void waitAll();
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Jobs;
+  std::mutex Mutex;
+  std::condition_variable JobAvailable;
+  std::condition_variable AllDone;
+  unsigned Pending = 0; ///< Queued + running jobs.
+  bool ShuttingDown = false;
+};
+
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_THREADPOOL_H

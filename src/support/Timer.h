@@ -1,0 +1,44 @@
+//===- support/Timer.h - Wall-clock stopwatch -------------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic stopwatch used by the benchmark harness to report the
+/// partitioning / clustering / per-cluster analysis times of Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_TIMER_H
+#define BSAA_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace bsaa {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_TIMER_H

@@ -1,0 +1,63 @@
+//===- support/UnionFind.cpp - Disjoint-set forest ------------------------===//
+
+#include "support/UnionFind.h"
+
+#include <cassert>
+
+using namespace bsaa;
+
+UnionFind::UnionFind(uint32_t Size) { grow(Size); }
+
+void UnionFind::grow(uint32_t Size) {
+  uint32_t Old = static_cast<uint32_t>(Parent.size());
+  if (Size <= Old)
+    return;
+  Parent.resize(Size);
+  Rank.resize(Size, 0);
+  for (uint32_t I = Old; I < Size; ++I)
+    Parent[I] = I;
+  NumSets += Size - Old;
+}
+
+uint32_t UnionFind::makeSet() {
+  uint32_t Id = static_cast<uint32_t>(Parent.size());
+  Parent.push_back(Id);
+  Rank.push_back(0);
+  ++NumSets;
+  return Id;
+}
+
+uint32_t UnionFind::find(uint32_t X) const {
+  assert(X < Parent.size() && "element out of range");
+  // Path halving: every node on the walk points to its grandparent
+  // afterwards, which keeps trees shallow without recursion. Writes
+  // happen only when the parent actually changes, so a fully
+  // compressed structure (see compressAll) can be queried from many
+  // threads concurrently.
+  while (Parent[X] != X) {
+    uint32_t P = Parent[X];
+    uint32_t GP = Parent[P];
+    if (P != GP)
+      Parent[X] = GP;
+    X = GP;
+  }
+  return X;
+}
+
+void UnionFind::compressAll() {
+  for (uint32_t I = 0; I < Parent.size(); ++I)
+    find(I);
+}
+
+uint32_t UnionFind::unite(uint32_t A, uint32_t B) {
+  uint32_t RA = find(A), RB = find(B);
+  if (RA == RB)
+    return RA;
+  if (Rank[RA] < Rank[RB])
+    std::swap(RA, RB);
+  Parent[RB] = RA;
+  if (Rank[RA] == Rank[RB])
+    ++Rank[RA];
+  --NumSets;
+  return RA;
+}

@@ -1,0 +1,68 @@
+//===- support/UnionFind.h - Disjoint-set forest ----------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disjoint-set forest with union by rank and path compression. This is the
+/// workhorse of Steensgaard's almost-linear-time analysis: every
+/// unification of two abstract locations is a union operation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_UNIONFIND_H
+#define BSAA_SUPPORT_UNIONFIND_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bsaa {
+
+/// Disjoint sets over the dense universe [0, size).
+///
+/// `find` uses path halving, `unite` uses union by rank; any interleaving
+/// of m operations over n elements costs O(m alpha(n)).
+class UnionFind {
+public:
+  /// Creates \p Size singleton sets.
+  explicit UnionFind(uint32_t Size = 0);
+
+  /// Grows the universe to \p Size elements (new elements are singletons).
+  void grow(uint32_t Size);
+
+  /// Appends one fresh singleton element and returns its index.
+  uint32_t makeSet();
+
+  /// Returns the canonical representative of \p X's set.
+  uint32_t find(uint32_t X) const;
+
+  /// Merges the sets of \p A and \p B; returns the surviving
+  /// representative.
+  uint32_t unite(uint32_t A, uint32_t B);
+
+  /// Returns true if \p A and \p B are currently in the same set.
+  bool connected(uint32_t A, uint32_t B) const { return find(A) == find(B); }
+
+  /// Fully compresses every path. Afterwards, concurrent find() calls
+  /// perform no writes and are safe from multiple threads (as long as
+  /// no unite/grow runs concurrently).
+  void compressAll();
+
+  /// Number of elements in the universe.
+  uint32_t size() const { return static_cast<uint32_t>(Parent.size()); }
+
+  /// Number of distinct sets remaining.
+  uint32_t numSets() const { return NumSets; }
+
+private:
+  // Mutable so that `find` can compress paths while staying logically
+  // const.
+  mutable std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+  uint32_t NumSets = 0;
+};
+
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_UNIONFIND_H

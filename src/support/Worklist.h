@@ -1,0 +1,65 @@
+//===- support/Worklist.h - Deduplicating worklist --------------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FIFO worklist over dense uint32 ids that never holds the same id
+/// twice. Re-inserting an id that is currently queued is a no-op;
+/// re-inserting after it has been popped enqueues it again. This is the
+/// standard shape for constraint-solving and dataflow fixpoints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_WORKLIST_H
+#define BSAA_SUPPORT_WORKLIST_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace bsaa {
+
+/// FIFO worklist over ids in [0, Universe).
+class Worklist {
+public:
+  explicit Worklist(uint32_t Universe = 0) : Queued(Universe, 0) {}
+
+  /// Grows the id universe (new ids start unqueued).
+  void grow(uint32_t Universe) {
+    if (Universe > Queued.size())
+      Queued.resize(Universe, 0);
+  }
+
+  /// Enqueues \p Id unless it is already pending. Returns true if
+  /// enqueued.
+  bool push(uint32_t Id) {
+    if (Id >= Queued.size())
+      grow(Id + 1);
+    if (Queued[Id])
+      return false;
+    Queued[Id] = 1;
+    Items.push_back(Id);
+    return true;
+  }
+
+  /// Pops the oldest pending id. Precondition: !empty().
+  uint32_t pop() {
+    uint32_t Id = Items.front();
+    Items.pop_front();
+    Queued[Id] = 0;
+    return Id;
+  }
+
+  bool empty() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+
+private:
+  std::deque<uint32_t> Items;
+  std::vector<uint8_t> Queued;
+};
+
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_WORKLIST_H

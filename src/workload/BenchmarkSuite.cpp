@@ -1,0 +1,146 @@
+//===- workload/BenchmarkSuite.cpp - Table 1 configurations ---------------===//
+
+#include "workload/BenchmarkSuite.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace bsaa;
+using namespace bsaa::workload;
+
+namespace {
+
+/// Derives a generator configuration whose program mirrors one Table 1
+/// row in shape: roughly \p Kloc thousand lines, roughly \p Pointers
+/// pointer variables, a largest Steensgaard partition around
+/// \p MaxPartition pointers, and Andersen clustering that shrinks the
+/// largest cluster to around \p MaxAndersen (MaxAndersen close to
+/// MaxPartition models heavy overlap, the paper's mt-daapd case).
+GeneratorConfig derive(uint64_t Seed, double Kloc, uint32_t Pointers,
+                       uint32_t MaxPartition, uint32_t MaxAndersen,
+                       double Scale) {
+  GeneratorConfig C;
+  C.Seed = Seed;
+  Kloc *= Scale;
+  Pointers = std::max<uint32_t>(30, uint32_t(Pointers * Scale));
+  MaxPartition = std::max<uint32_t>(
+      8, uint32_t(MaxPartition * std::sqrt(Scale)));
+  MaxAndersen = std::max<uint32_t>(
+      4, uint32_t(MaxAndersen * std::sqrt(Scale)));
+
+  C.StmtsPerFunction = 16;
+  // ~24 emitted lines per function.
+  C.NumFunctions =
+      std::max<uint32_t>(3, uint32_t(Kloc * 1000.0 / 24.0));
+
+  // One big community realizes the largest partition; its pointer count
+  // is roughly PointersPerCommunity (6) * factor. Cap it at a quarter
+  // of the pointer budget.
+  C.BigCommunities = 1;
+  C.BigCommunityFactor = std::min<uint32_t>(
+      std::max<uint32_t>(2, (MaxPartition + 5) / 6),
+      std::max<uint32_t>(2, Pointers / 24));
+  // More distinct objects let Andersen split the big partition further;
+  // few objects keep its clusters overlapping (mt-daapd).
+  uint32_t Ratio = std::max<uint32_t>(1, MaxPartition / MaxAndersen);
+  C.BigCommunityObjectFactor = std::min<uint32_t>(32, Ratio * 2);
+  if (MaxAndersen * 10 >= MaxPartition * 9) {
+    // Heavy-overlap row: everything in the big community points at the
+    // same few objects.
+    C.BigCommunityObjectFactor = 1;
+  }
+
+  // Split the pointer budget: ~45% to pointer-trafficking functions
+  // (param + return + locals + temps, ~5-7 pointers each), ~15% to the
+  // big community, the rest to small communities of ~8 pointers. Rows
+  // with many KLOC but few pointers (the paper's raid, tty_io) end up
+  // with a small PointerFunctionPercent -- low pointer-access density.
+  uint64_t PtrFuncBudget = uint64_t(Pointers) * 45 / 100;
+  uint32_t PtrFuncs = uint32_t(std::min<uint64_t>(
+      C.NumFunctions, std::max<uint64_t>(1, PtrFuncBudget / 5)));
+  C.PointerFunctionPercent = std::clamp<uint32_t>(
+      uint32_t(100.0 * PtrFuncs / C.NumFunctions), 2, 100);
+  C.LocalsPerFunction = std::clamp<uint32_t>(
+      uint32_t(PtrFuncBudget / std::max<uint32_t>(1, PtrFuncs)) > 3
+          ? uint32_t(PtrFuncBudget / std::max<uint32_t>(1, PtrFuncs)) - 3
+          : 1,
+      1, 4);
+
+  uint64_t Remaining = uint64_t(Pointers) * 40 / 100;
+  C.Communities = std::max<uint32_t>(2, uint32_t(Remaining / 8));
+
+  // Percolation control: aim for cross-community merges on roughly a
+  // tenth of the communities, so a few partitions fuse but no giant
+  // component appears. Copies are ~30% of pointer-function statements.
+  uint64_t Copies = std::max<uint64_t>(
+      1, uint64_t(PtrFuncs) * C.StmtsPerFunction * 3 / 10);
+  C.CrossCommunityBasisPoints = uint32_t(std::min<uint64_t>(
+      150, std::max<uint64_t>(1, uint64_t(C.Communities) * 400 / Copies)));
+  return C;
+}
+
+struct RowSpec {
+  const char *Name;
+  double Kloc;
+  uint32_t Pointers;
+  uint32_t MaxPartition; ///< Paper's max Steensgaard partition size.
+  uint32_t MaxAndersen;  ///< Paper's max Andersen cluster size.
+  bool Driver;           ///< Linux-driver row: give it lock pointers.
+};
+
+// The 20 rows of Table 1 (name, KLOC, #pointers, max Steensgaard
+// partition, max Andersen cluster).
+const RowSpec Rows[] = {
+    {"sock", 0.9, 1089, 9, 6, true},
+    {"hugetlb", 1.2, 3607, 45, 11, true},
+    {"ctrace", 1.4, 377, 36, 6, true},
+    {"autofs", 8.3, 3258, 125, 27, true},
+    {"plip", 14, 3257, 26, 14, true},
+    {"ptrace", 15, 9075, 96, 18, true},
+    {"raid", 17, 814, 129, 26, true},
+    {"jfs_dmap", 17, 14339, 39, 11, true},
+    {"tty_io", 18, 2675, 8, 6, true},
+    {"ipoib_multicast", 26, 2888, 15, 9, true},
+    {"wavelan_ko", 20, 3117, 44, 19, true},
+    {"pico", 22, 1903, 171, 102, false},
+    {"synclink", 24, 16355, 95, 93, false},
+    {"icecast-2.3.1", 49, 7490, 114, 52, false},
+    {"freshclam", 54, 1991, 77, 45, false},
+    {"mt-daapd", 92, 4008, 89, 83, false},
+    {"sigtool-0.88", 95, 5881, 151, 147, false},
+    {"clamd", 101, 16639, 346, 187, false},
+    {"sendmail", 115, 65134, 596, 193, false},
+    {"httpd", 128, 16180, 199, 152, false},
+};
+
+} // namespace
+
+std::vector<SuiteEntry> workload::table1Suite(double Scale) {
+  std::vector<SuiteEntry> Suite;
+  uint64_t Seed = 0x5eed;
+  for (const RowSpec &Row : Rows) {
+    SuiteEntry E;
+    E.Name = Row.Name;
+    E.PaperKloc = Row.Kloc;
+    E.PaperPointers = Row.Pointers;
+    E.Config = derive(Seed++, Row.Kloc, Row.Pointers, Row.MaxPartition,
+                      Row.MaxAndersen, Scale);
+    if (Row.Driver) {
+      E.Config.LockPointers = 4;
+      E.Config.SharedVariables = 4;
+    }
+    Suite.push_back(std::move(E));
+  }
+  return Suite;
+}
+
+SuiteEntry workload::suiteEntry(const std::string &Name, double Scale) {
+  for (SuiteEntry &E : table1Suite(Scale))
+    if (E.Name == Name)
+      return E;
+  std::fprintf(stderr, "error: no suite entry named '%s'\n", Name.c_str());
+  std::abort();
+}

@@ -1,0 +1,50 @@
+//===- workload/BenchmarkSuite.h - Table 1 configurations -------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fixed suite of 20 named generator configurations mirroring the
+/// rows of the paper's Table 1 (sock ... httpd). Sizes (KLOC, pointer
+/// counts) track the paper's numbers in *shape*: small driver-like
+/// programs up front, sendmail as the outlier with the most pointers
+/// and the largest maximum partition, and mt-daapd configured with
+/// heavily overlapping communities so that Andersen clustering barely
+/// shrinks the maximum cluster -- the anomaly the paper discusses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_WORKLOAD_BENCHMARKSUITE_H
+#define BSAA_WORKLOAD_BENCHMARKSUITE_H
+
+#include "workload/ProgramGenerator.h"
+
+#include <string>
+#include <vector>
+
+namespace bsaa {
+namespace workload {
+
+/// One suite entry: a name from the paper plus the generator
+/// configuration standing in for that program.
+struct SuiteEntry {
+  std::string Name;
+  double PaperKloc;          ///< The paper's KLOC column, for reporting.
+  uint32_t PaperPointers;    ///< The paper's "# pointers" column.
+  GeneratorConfig Config;
+};
+
+/// The 20 Table-1 rows. \p Scale in (0, 1] shrinks every size knob
+/// proportionally so the suite can run quickly in tests (1.0 is the
+/// benchmark-harness size).
+std::vector<SuiteEntry> table1Suite(double Scale = 1.0);
+
+/// Finds an entry by name (e.g. "autofs" for Figure 1); aborts if
+/// missing.
+SuiteEntry suiteEntry(const std::string &Name, double Scale = 1.0);
+
+} // namespace workload
+} // namespace bsaa
+
+#endif // BSAA_WORKLOAD_BENCHMARKSUITE_H

@@ -1,0 +1,357 @@
+//===- workload/ProgramGenerator.cpp - Synthetic mini-C programs ----------===//
+
+#include "workload/ProgramGenerator.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <vector>
+
+using namespace bsaa;
+using namespace bsaa::workload;
+
+namespace {
+
+/// Names of the community-structured global variables.
+struct CommunityVars {
+  std::vector<std::string> Objects; ///< int
+  std::vector<std::string> Ptrs;    ///< int *
+  std::vector<std::string> Deep;    ///< int **
+};
+
+/// Generation state threaded through the emitters.
+struct GenState {
+  const GeneratorConfig &Cfg;
+  std::mt19937_64 Rng;
+  std::ostringstream OS;
+  std::vector<CommunityVars> Comms;
+  std::vector<std::string> LockPtrs;
+  std::vector<std::string> SharedVars;
+  /// Whether function F has the pointer signature `int *fF(int *pF)`.
+  std::vector<bool> PtrFunc;
+
+  explicit GenState(const GeneratorConfig &Cfg) : Cfg(Cfg), Rng(Cfg.Seed) {}
+
+  uint32_t pick(uint32_t N) {
+    return N == 0 ? 0 : static_cast<uint32_t>(Rng() % N);
+  }
+  bool chance(uint32_t Percent) { return pick(100) < Percent; }
+  bool chanceBp(uint32_t BasisPoints) { return pick(10000) < BasisPoints; }
+};
+
+/// Local pointer names (per function, community-tagged).
+struct LocalVars {
+  std::vector<std::pair<std::string, uint32_t>> Ptrs; ///< (name, comm)
+};
+
+const std::string &pickName(GenState &G,
+                            const std::vector<std::string> &Pool) {
+  return Pool[G.pick(static_cast<uint32_t>(Pool.size()))];
+}
+
+/// A random depth-1 pointer expression (global or local) of community
+/// \p Comm.
+std::string pickPtr(GenState &G, const LocalVars &Locals, uint32_t Comm) {
+  std::vector<const std::string *> LocalMatches;
+  for (const auto &[Name, C] : Locals.Ptrs)
+    if (C == Comm)
+      LocalMatches.push_back(&Name);
+  if (!LocalMatches.empty() && G.chance(50))
+    return *LocalMatches[G.pick(
+        static_cast<uint32_t>(LocalMatches.size()))];
+  return pickName(G, G.Comms[Comm].Ptrs);
+}
+
+void emitNoise(GenState &G, uint32_t Comm, const std::string &Indent) {
+  const std::vector<std::string> &Objs = G.Comms[Comm].Objects;
+  G.OS << Indent << pickName(G, Objs) << " = " << pickName(G, Objs)
+       << " + 1;\n";
+}
+
+void emitCall(GenState &G, const LocalVars &Locals, uint32_t FuncIdx,
+              uint32_t NumFuncs, const std::string &Indent) {
+  const GeneratorConfig &Cfg = G.Cfg;
+  uint32_t Callee;
+  if (FuncIdx + 1 < NumFuncs && !G.chance(Cfg.RecursionPercent)) {
+    Callee = FuncIdx + 1 + G.pick(NumFuncs - FuncIdx - 1);
+  } else {
+    Callee = G.pick(FuncIdx + 1);
+  }
+  // Backward (possibly recursive) calls are guarded so every call-graph
+  // cycle has a dynamic escape: unconditionally recursive cycles would
+  // make function exits unreachable (and real drivers do not recurse
+  // unconditionally either).
+  bool Guarded = Callee <= FuncIdx;
+  std::string Inner = Indent;
+  if (Guarded) {
+    G.OS << Indent << "if (nondet) {\n";
+    Inner += "  ";
+  }
+  if (!G.PtrFunc[Callee]) {
+    G.OS << Inner << "f" << Callee << "(0);\n";
+  } else {
+    uint32_t CalleeComm = Callee % G.Comms.size();
+    G.OS << Inner << pickPtr(G, Locals, CalleeComm) << " = f" << Callee
+         << "(" << pickPtr(G, Locals, CalleeComm) << ");\n";
+  }
+  if (Guarded)
+    G.OS << Indent << "}\n";
+}
+
+void emitStatement(GenState &G, const LocalVars &Locals, uint32_t HomeComm,
+                   uint32_t FuncIdx, uint32_t NumFuncs, int Depth,
+                   bool PointerBody);
+
+void emitBlockBody(GenState &G, const LocalVars &Locals, uint32_t Comm,
+                   uint32_t FuncIdx, uint32_t NumFuncs, uint32_t Count,
+                   int Depth, bool PointerBody) {
+  for (uint32_t I = 0; I < Count; ++I)
+    emitStatement(G, Locals, Comm, FuncIdx, NumFuncs, Depth, PointerBody);
+}
+
+void emitStatement(GenState &G, const LocalVars &Locals, uint32_t HomeComm,
+                   uint32_t FuncIdx, uint32_t NumFuncs, int Depth,
+                   bool PointerBody) {
+  const GeneratorConfig &Cfg = G.Cfg;
+  uint32_t Comm = HomeComm;
+  std::string Indent(static_cast<size_t>(2 * (Depth + 1)), ' ');
+
+  if (!PointerBody) {
+    // Non-pointer function: noise, branches and calls only.
+    uint32_t Roll = G.pick(100);
+    if (Roll < 15 && Depth < 2) {
+      bool While = G.chance(40);
+      G.OS << Indent << (While ? "while" : "if") << " (nondet) {\n";
+      emitBlockBody(G, Locals, Comm, FuncIdx, NumFuncs, 1 + G.pick(2),
+                    Depth + 1, PointerBody);
+      G.OS << Indent << "}\n";
+    } else if (Roll < 30) {
+      emitCall(G, Locals, FuncIdx, NumFuncs, Indent);
+    } else {
+      emitNoise(G, Comm, Indent);
+    }
+    return;
+  }
+
+  // Big communities only become big partitions if statements actually
+  // unify their pointers; divert a share of every pointer function's
+  // statements into them.
+  if (Cfg.BigCommunities > 0 && G.chance(Cfg.BigCommunityStmtPercent))
+    Comm = G.pick(std::min<uint32_t>(Cfg.BigCommunities,
+                                     uint32_t(G.Comms.size())));
+
+  uint32_t Total = Cfg.WeightAddrOf + Cfg.WeightCopy + Cfg.WeightLoad +
+                   Cfg.WeightStore + Cfg.WeightCall + Cfg.WeightBranch +
+                   Cfg.WeightMalloc + Cfg.WeightNoise;
+  uint32_t Roll = G.pick(Total);
+  auto TakeWeight = [&Roll](uint32_t W) {
+    if (Roll < W)
+      return true;
+    Roll -= W;
+    return false;
+  };
+
+  if (TakeWeight(Cfg.WeightAddrOf)) {
+    G.OS << Indent << pickPtr(G, Locals, Comm) << " = &"
+         << pickName(G, G.Comms[Comm].Objects) << ";\n";
+    return;
+  }
+  if (TakeWeight(Cfg.WeightCopy)) {
+    // Cross-community copies fuse partitions (rare by default).
+    uint32_t SrcComm = Comm;
+    if (G.chanceBp(Cfg.CrossCommunityBasisPoints))
+      SrcComm = G.pick(static_cast<uint32_t>(G.Comms.size()));
+    G.OS << Indent << pickPtr(G, Locals, Comm) << " = "
+         << pickPtr(G, Locals, SrcComm) << ";\n";
+    return;
+  }
+  if (TakeWeight(Cfg.WeightLoad)) {
+    if (!G.Comms[Comm].Deep.empty()) {
+      G.OS << Indent << pickPtr(G, Locals, Comm) << " = *"
+           << pickName(G, G.Comms[Comm].Deep) << ";\n";
+    }
+    return;
+  }
+  if (TakeWeight(Cfg.WeightStore)) {
+    if (!G.Comms[Comm].Deep.empty()) {
+      G.OS << Indent << "*" << pickName(G, G.Comms[Comm].Deep) << " = "
+           << pickPtr(G, Locals, Comm) << ";\n";
+    }
+    return;
+  }
+  if (TakeWeight(Cfg.WeightCall)) {
+    emitCall(G, Locals, FuncIdx, NumFuncs, Indent);
+    return;
+  }
+  if (TakeWeight(Cfg.WeightBranch)) {
+    if (Depth >= 2) {
+      G.OS << Indent << pickPtr(G, Locals, Comm) << " = "
+           << pickPtr(G, Locals, Comm) << ";\n";
+      return;
+    }
+    bool While = G.chance(40);
+    G.OS << Indent << (While ? "while" : "if") << " (nondet) {\n";
+    emitBlockBody(G, Locals, Comm, FuncIdx, NumFuncs, 1 + G.pick(3),
+                  Depth + 1, PointerBody);
+    if (!While && G.chance(50)) {
+      G.OS << Indent << "} else {\n";
+      emitBlockBody(G, Locals, Comm, FuncIdx, NumFuncs, 1 + G.pick(2),
+                    Depth + 1, PointerBody);
+    }
+    G.OS << Indent << "}\n";
+    return;
+  }
+  if (TakeWeight(Cfg.WeightMalloc)) {
+    G.OS << Indent << pickPtr(G, Locals, Comm) << " = malloc();\n";
+    return;
+  }
+  emitNoise(G, Comm, Indent);
+}
+
+void emitLockStatements(GenState &G, const std::string &Indent) {
+  if (G.LockPtrs.empty())
+    return;
+  const std::string &L = pickName(G, G.LockPtrs);
+  G.OS << Indent << "lock(" << L << ");\n";
+  if (!G.SharedVars.empty())
+    G.OS << Indent << pickName(G, G.SharedVars) << " = 1;\n";
+  G.OS << Indent << "unlock(" << L << ");\n";
+}
+
+} // namespace
+
+std::string workload::generateProgram(const GeneratorConfig &Cfg) {
+  GenState G(Cfg);
+  uint32_t NumComms = std::max<uint32_t>(1, Cfg.Communities);
+
+  // Globals, community by community.
+  G.Comms.resize(NumComms);
+  for (uint32_t C = 0; C < NumComms; ++C) {
+    CommunityVars &CV = G.Comms[C];
+    bool Big = C < Cfg.BigCommunities;
+    uint32_t ObjMul = Big ? std::max<uint32_t>(1, Cfg.BigCommunityObjectFactor)
+                          : 1;
+    uint32_t PtrMul = Big ? std::max<uint32_t>(1, Cfg.BigCommunityFactor) : 1;
+    for (uint32_t I = 0;
+         I < std::max<uint32_t>(1, Cfg.ObjectsPerCommunity * ObjMul);
+         ++I) {
+      CV.Objects.push_back("g_obj_" + std::to_string(C) + "_" +
+                           std::to_string(I));
+      G.OS << "int " << CV.Objects.back() << ";\n";
+    }
+    for (uint32_t I = 0;
+         I < std::max<uint32_t>(1, Cfg.PointersPerCommunity * PtrMul);
+         ++I) {
+      CV.Ptrs.push_back("g_ptr_" + std::to_string(C) + "_" +
+                        std::to_string(I));
+      G.OS << "int *" << CV.Ptrs.back() << ";\n";
+    }
+    for (uint32_t I = 0; I < Cfg.DeepPointersPerCommunity; ++I) {
+      CV.Deep.push_back("g_pp_" + std::to_string(C) + "_" +
+                        std::to_string(I));
+      G.OS << "int **" << CV.Deep.back() << ";\n";
+    }
+  }
+
+  // Lock community.
+  for (uint32_t I = 0; I < Cfg.LockPointers; ++I) {
+    G.OS << "lock_t g_lock_" << I << ";\n";
+    G.OS << "lock_t *g_lp_" << I << ";\n";
+    G.LockPtrs.push_back("g_lp_" + std::to_string(I));
+  }
+  for (uint32_t I = 0; I < Cfg.SharedVariables; ++I) {
+    G.SharedVars.push_back("g_shared_" + std::to_string(I));
+    G.OS << "int " << G.SharedVars.back() << ";\n";
+  }
+
+  if (Cfg.Structs)
+    G.OS << "struct node { int *payload; int tag; };\n";
+
+  // Decide signatures, then emit prototypes so calls can go forward.
+  uint32_t NumFuncs = std::max<uint32_t>(1, Cfg.NumFunctions);
+  G.PtrFunc.resize(NumFuncs);
+  for (uint32_t F = 0; F < NumFuncs; ++F) {
+    // Deterministic spread so prototypes, bodies and call sites agree.
+    uint32_t Hash = (F * 2654435761u) >> 16;
+    G.PtrFunc[F] = (Hash % 100) < Cfg.PointerFunctionPercent;
+  }
+  for (uint32_t F = 0; F < NumFuncs; ++F) {
+    if (G.PtrFunc[F])
+      G.OS << "int *f" << F << "(int *p" << F << ");\n";
+    else
+      G.OS << "int f" << F << "(int n" << F << ");\n";
+  }
+
+  // Function bodies.
+  for (uint32_t F = 0; F < NumFuncs; ++F) {
+    uint32_t Comm = F % NumComms;
+    bool Ptr = G.PtrFunc[F];
+    if (Ptr)
+      G.OS << "int *f" << F << "(int *p" << F << ") {\n";
+    else
+      G.OS << "int f" << F << "(int n" << F << ") {\n";
+
+    LocalVars Locals;
+    if (Ptr) {
+      Locals.Ptrs.emplace_back("p" + std::to_string(F), Comm);
+      for (uint32_t I = 0; I < Cfg.LocalsPerFunction; ++I) {
+        std::string Name = "l" + std::to_string(I);
+        uint32_t LComm = (Comm + I) % NumComms;
+        G.OS << "  int *" << Name << ";\n";
+        Locals.Ptrs.emplace_back(Name, LComm);
+      }
+    }
+    if (Cfg.Structs && Ptr && F % 3 == 0) {
+      G.OS << "  struct node n;\n";
+      G.OS << "  n.payload = " << pickPtr(G, Locals, Comm) << ";\n";
+      G.OS << "  " << pickPtr(G, Locals, Comm) << " = n.payload;\n";
+    }
+    emitBlockBody(G, Locals, Comm, F, NumFuncs,
+                  std::max<uint32_t>(1, Cfg.StmtsPerFunction), 0, Ptr);
+    if (Cfg.LockPointers && F % 4 == 0)
+      emitLockStatements(G, "  ");
+    if (Ptr)
+      G.OS << "  return " << pickPtr(G, Locals, Comm) << ";\n";
+    else
+      G.OS << "  return n" << F << " + 1;\n";
+    G.OS << "}\n";
+  }
+
+  // main: seed the communities, wire lock pointers, call around.
+  G.OS << "void main(void) {\n";
+  for (uint32_t C = 0; C < NumComms; ++C) {
+    G.OS << "  " << G.Comms[C].Ptrs[0] << " = &" << G.Comms[C].Objects[0]
+         << ";\n";
+    if (!G.Comms[C].Deep.empty())
+      G.OS << "  " << G.Comms[C].Deep[0] << " = &" << G.Comms[C].Ptrs[0]
+           << ";\n";
+  }
+  for (uint32_t I = 0; I < Cfg.LockPointers; ++I)
+    G.OS << "  g_lp_" << I << " = &g_lock_" << I << ";\n";
+
+  if (Cfg.FunctionPointers && NumFuncs >= 2 && G.PtrFunc[0] &&
+      G.PtrFunc[1]) {
+    G.OS << "  fptr_t fp;\n";
+    G.OS << "  fp = &f0;\n";
+    G.OS << "  if (nondet) { fp = &f1; }\n";
+    G.OS << "  " << G.Comms[0].Ptrs[0] << " = fp(" << G.Comms[0].Ptrs[0]
+         << ");\n";
+  }
+
+  LocalVars NoLocals;
+  uint32_t Calls = std::max<uint32_t>(1, NumFuncs / 2);
+  for (uint32_t I = 0; I < Calls; ++I) {
+    uint32_t F = G.pick(NumFuncs);
+    if (!G.PtrFunc[F]) {
+      G.OS << "  f" << F << "(0);\n";
+      continue;
+    }
+    uint32_t Comm = F % NumComms;
+    G.OS << "  " << pickName(G, G.Comms[Comm].Ptrs) << " = f" << F << "("
+         << pickName(G, G.Comms[Comm].Ptrs) << ");\n";
+  }
+  if (Cfg.LockPointers)
+    emitLockStatements(G, "  ");
+  G.OS << "}\n";
+  return G.OS.str();
+}

@@ -1,0 +1,112 @@
+//===- workload/ProgramGenerator.h - Synthetic mini-C programs --*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of synthetic mini-C programs. This is the
+/// repo's substitute for the paper's benchmark suite (Linux drivers,
+/// sendmail, httpd, ...), which is not available offline; see DESIGN.md
+/// for the substitution argument.
+///
+/// The generator's key knob is the *community* structure: pointers are
+/// grouped into communities and assignments stay within a community
+/// except for a configurable trickle of cross-community copies. Since
+/// Steensgaard partitions are exactly the unification components, the
+/// community count and size directly control the cluster-size
+/// distribution -- many small clusters plus a few large ones, the shape
+/// Figure 1 of the paper shows for real code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_WORKLOAD_PROGRAMGENERATOR_H
+#define BSAA_WORKLOAD_PROGRAMGENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace bsaa {
+namespace workload {
+
+/// Tuning knobs for one synthetic program.
+struct GeneratorConfig {
+  uint64_t Seed = 1;
+
+  uint32_t NumFunctions = 10;
+  uint32_t StmtsPerFunction = 20;
+
+  /// Pointer communities; partitions cannot outgrow a community except
+  /// through cross-community copies.
+  uint32_t Communities = 4;
+  /// Per community: depth-0 objects and pointers at depth 1 / 2 shared
+  /// across the program (globals).
+  uint32_t ObjectsPerCommunity = 4;
+  uint32_t PointersPerCommunity = 6;
+  uint32_t DeepPointersPerCommunity = 2; ///< int** pointers.
+
+  /// The first BigCommunities communities get their pointer/object
+  /// counts multiplied by BigCommunityFactor: a few large partitions on
+  /// top of many small ones, the cluster-size shape of the paper's
+  /// Figure 1.
+  uint32_t BigCommunities = 0;
+  uint32_t BigCommunityFactor = 8;
+  /// Objects in big communities get multiplied by this instead; keeping
+  /// it at 1 while the factor is large makes every big-community
+  /// pointer point at the same few objects, so Andersen clustering
+  /// cannot shrink the partition (the paper's mt-daapd anomaly).
+  uint32_t BigCommunityObjectFactor = 8;
+  /// Locals per function (spread over communities round-robin).
+  uint32_t LocalsPerFunction = 4;
+
+  /// Statement mix (relative weights).
+  uint32_t WeightAddrOf = 25;
+  uint32_t WeightCopy = 30;
+  uint32_t WeightLoad = 10;
+  uint32_t WeightStore = 10;
+  uint32_t WeightCall = 12;
+  uint32_t WeightBranch = 8;
+  uint32_t WeightMalloc = 5;
+  /// Non-pointer filler (int arithmetic); raises KLOC without raising
+  /// the pointer count -- real programs like the paper's `raid` have
+  /// few pointers per KLOC.
+  uint32_t WeightNoise = 0;
+
+  /// Percent of functions that traffic in pointers (`int *f(int *p)`).
+  /// The rest take and return plain ints and only emit noise, branches
+  /// and calls, diluting pointer-access density.
+  uint32_t PointerFunctionPercent = 100;
+
+  /// Probability (basis points, 1/100 percent) that a copy crosses
+  /// communities; this is what fuses Steensgaard partitions into larger
+  /// ones. Keep it well below communities/copies or percolation fuses
+  /// everything into one giant partition.
+  uint32_t CrossCommunityBasisPoints = 100;
+
+  /// Percent of statements redirected into one of the big communities
+  /// (so large communities actually unify into large partitions).
+  uint32_t BigCommunityStmtPercent = 20;
+
+  /// Backward calls (to already-emitted functions) with this percent
+  /// probability create recursion / call-graph SCCs.
+  uint32_t RecursionPercent = 5;
+
+  /// Lock pointers for the race-detection workloads: one extra
+  /// community of lock_t objects/pointers with lock/unlock statements.
+  uint32_t LockPointers = 0;
+  uint32_t SharedVariables = 0; ///< Globals accessed under locks.
+
+  /// Emit fptr_t-based indirect calls.
+  bool FunctionPointers = false;
+  /// Emit struct declarations and field accesses.
+  bool Structs = false;
+};
+
+/// Generates mini-C source text for \p Config. Same config (including
+/// seed) always yields byte-identical output.
+std::string generateProgram(const GeneratorConfig &Config);
+
+} // namespace workload
+} // namespace bsaa
+
+#endif // BSAA_WORKLOAD_PROGRAMGENERATOR_H

@@ -1,0 +1,515 @@
+//===- tests/test_analysis.cpp - Baseline analysis tests ------------------===//
+//
+// Tests for Steensgaard (partitions / hierarchy / depth), Andersen
+// (inclusion constraints, cycle elimination), and Das One-Level Flow,
+// including the precision-ordering properties the paper relies on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasQueries.h"
+#include "analysis/Andersen.h"
+#include "analysis/OneLevelFlow.h"
+#include "analysis/Steensgaard.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace bsaa;
+using namespace bsaa::analysis;
+
+namespace {
+
+std::unique_ptr<ir::Program> compileOk(std::string_view Src) {
+  frontend::Diagnostics Diags;
+  auto P = frontend::compileString(Src, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.toString();
+  return P;
+}
+
+ir::VarId varOf(const ir::Program &P, const std::string &Name) {
+  ir::VarId V = P.findVariable(Name);
+  EXPECT_NE(V, ir::InvalidVar) << "no variable " << Name;
+  return V;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Steensgaard: basic unification behaviour
+//===--------------------------------------------------------------------===//
+
+TEST(Steensgaard, Figure2Partitions) {
+  // The exact example from the paper's Figure 2: Steensgaard unifies
+  // {a,b,c} into one node pointed to by {p,q,r}.
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int c;
+      int *p; int *q; int *r;
+      1a: p = &a;
+      2a: q = &b;
+      3a: r = &c;
+      4a: q = p;
+      5a: q = r;
+    }
+  )");
+  SteensgaardAnalysis S(*P);
+  S.run();
+  ir::VarId A = varOf(*P, "main::a"), B = varOf(*P, "main::b"),
+            C = varOf(*P, "main::c");
+  ir::VarId Pp = varOf(*P, "main::p"), Q = varOf(*P, "main::q"),
+            R = varOf(*P, "main::r");
+  EXPECT_TRUE(S.samePartition(A, B));
+  EXPECT_TRUE(S.samePartition(B, C));
+  EXPECT_TRUE(S.samePartition(Pp, Q));
+  EXPECT_TRUE(S.samePartition(Q, R));
+  EXPECT_FALSE(S.samePartition(Pp, A));
+  // All three pointers may alias each other under Steensgaard.
+  EXPECT_TRUE(S.mayAlias(Pp, Q));
+  EXPECT_TRUE(S.mayAlias(Pp, R));
+  // Hierarchy: {p,q,r} -> {a,b,c}.
+  EXPECT_TRUE(S.higher(Pp, A));
+  EXPECT_FALSE(S.higher(A, Pp));
+  EXPECT_EQ(S.depthOf(Pp), 0u);
+  EXPECT_EQ(S.depthOf(A), 1u);
+}
+
+TEST(Steensgaard, Figure3Partitions) {
+  // Figure 3: partitions {a,b}, {y}, {p,x}.
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b;
+      int *x; int *y; int *p;
+      1a: x = &a;
+      2a: y = &b;
+      3a: p = x;
+      4a: *x = *y;
+    }
+  )");
+  SteensgaardAnalysis S(*P);
+  S.run();
+  ir::VarId A = varOf(*P, "main::a"), B = varOf(*P, "main::b");
+  ir::VarId X = varOf(*P, "main::x"), Y = varOf(*P, "main::y"),
+            Pp = varOf(*P, "main::p");
+  EXPECT_TRUE(S.samePartition(A, B));
+  EXPECT_TRUE(S.samePartition(X, Pp));
+  EXPECT_FALSE(S.samePartition(Y, X));
+  EXPECT_FALSE(S.samePartition(Y, A));
+  // x is one level higher than a and b.
+  EXPECT_TRUE(S.higher(X, A));
+  EXPECT_TRUE(S.higher(Y, B));
+  EXPECT_FALSE(S.higher(X, Y));
+}
+
+TEST(Steensgaard, PartitionsRespectAliasing) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b;
+      int *p; int *q; int *r;
+      p = &a;
+      q = p;
+      r = &b;
+    }
+  )");
+  SteensgaardAnalysis S(*P);
+  S.run();
+  ir::VarId Pp = varOf(*P, "main::p"), Q = varOf(*P, "main::q"),
+            R = varOf(*P, "main::r");
+  EXPECT_TRUE(S.mayAlias(Pp, Q));
+  EXPECT_FALSE(S.mayAlias(Pp, R));
+  EXPECT_TRUE(S.samePartition(Pp, Q));
+  EXPECT_FALSE(S.samePartition(Pp, R));
+}
+
+TEST(Steensgaard, BidirectionalImprecision) {
+  // q = p; q = r unifies pts(p) and pts(r) even though no execution
+  // makes p alias r: the classic Steensgaard over-approximation.
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int c;
+      int *p; int *q; int *r;
+      p = &a;
+      r = &c;
+      q = p;
+      q = r;
+    }
+  )");
+  SteensgaardAnalysis S(*P);
+  S.run();
+  EXPECT_TRUE(
+      S.mayAlias(varOf(*P, "main::p"), varOf(*P, "main::r")));
+}
+
+TEST(Steensgaard, DepthIncreasesAlongChain) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a;
+      int *x;
+      int **y;
+      int ***z;
+      x = &a;
+      y = &x;
+      z = &y;
+    }
+  )");
+  SteensgaardAnalysis S(*P);
+  S.run();
+  ir::VarId A = varOf(*P, "main::a"), X = varOf(*P, "main::x"),
+            Y = varOf(*P, "main::y"), Z = varOf(*P, "main::z");
+  EXPECT_EQ(S.depthOf(Z), 0u);
+  EXPECT_EQ(S.depthOf(Y), 1u);
+  EXPECT_EQ(S.depthOf(X), 2u);
+  EXPECT_EQ(S.depthOf(A), 3u);
+  EXPECT_TRUE(S.higher(Z, A));
+  EXPECT_TRUE(S.higher(Y, X));
+  EXPECT_FALSE(S.higher(X, Y));
+  EXPECT_TRUE(S.partitionGraphAcyclic());
+}
+
+TEST(Steensgaard, HierarchyOutDegreeAtMostOne) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int c; int d;
+      int *p; int *q;
+      if (nondet) { p = &a; } else { p = &b; }
+      if (nondet) { q = &c; } else { q = &d; }
+    }
+  )");
+  SteensgaardAnalysis S(*P);
+  S.run();
+  for (uint32_t Part = 0; Part < S.numPartitions(); ++Part) {
+    // pointsToPartition returns a single value by API construction; the
+    // interesting check is that building it did not trip the assert and
+    // that depth is consistent.
+    uint32_t Succ = S.pointsToPartition(Part);
+    if (Succ != InvalidPartition) {
+      EXPECT_GT(S.depthOfPartition(Succ), S.depthOfPartition(Part));
+    }
+  }
+}
+
+TEST(Steensgaard, InterproceduralThroughParams) {
+  auto P = compileOk(R"(
+    int *id(int *p) { return p; }
+    void main(void) {
+      int a;
+      int *x; int *y;
+      x = &a;
+      y = id(x);
+    }
+  )");
+  SteensgaardAnalysis S(*P);
+  S.run();
+  EXPECT_TRUE(S.mayAlias(varOf(*P, "main::x"), varOf(*P, "main::y")));
+  EXPECT_TRUE(S.mayAlias(varOf(*P, "main::y"), varOf(*P, "id::p")));
+}
+
+TEST(Steensgaard, PointsToVarsContainsTargets) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b;
+      int *p;
+      p = &a;
+      p = &b;
+    }
+  )");
+  SteensgaardAnalysis S(*P);
+  S.run();
+  std::vector<ir::VarId> Pts = S.pointsToVars(varOf(*P, "main::p"));
+  EXPECT_NE(std::find(Pts.begin(), Pts.end(), varOf(*P, "main::a")),
+            Pts.end());
+  EXPECT_NE(std::find(Pts.begin(), Pts.end(), varOf(*P, "main::b")),
+            Pts.end());
+}
+
+//===--------------------------------------------------------------------===//
+// Andersen
+//===--------------------------------------------------------------------===//
+
+TEST(Andersen, DirectionalPrecision) {
+  // The Figure 2 program again: Andersen keeps p -> {a}, r -> {c},
+  // q -> {a,b,c}; p and r do NOT alias.
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int c;
+      int *p; int *q; int *r;
+      p = &a;
+      q = &b;
+      r = &c;
+      q = p;
+      q = r;
+    }
+  )");
+  AndersenAnalysis A(*P);
+  A.run();
+  ir::VarId Pp = varOf(*P, "main::p"), Q = varOf(*P, "main::q"),
+            R = varOf(*P, "main::r");
+  ir::VarId Va = varOf(*P, "main::a"), Vc = varOf(*P, "main::c");
+  EXPECT_EQ(A.pointsToVars(Pp), std::vector<ir::VarId>{Va});
+  EXPECT_EQ(A.pointsToVars(R), std::vector<ir::VarId>{Vc});
+  std::vector<ir::VarId> QPts = A.pointsToVars(Q);
+  EXPECT_EQ(QPts.size(), 3u);
+  EXPECT_TRUE(A.mayAlias(Pp, Q));
+  EXPECT_TRUE(A.mayAlias(Q, R));
+  EXPECT_FALSE(A.mayAlias(Pp, R));
+}
+
+TEST(Andersen, LoadStoreConstraints) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b;
+      int *x; int *y; int *z;
+      int **p;
+      x = &a;
+      p = &x;
+      y = &b;
+      *p = y;   // x may now point to b
+      z = *p;   // z gets everything x may hold
+    }
+  )");
+  AndersenAnalysis A(*P);
+  A.run();
+  ir::VarId X = varOf(*P, "main::x"), Z = varOf(*P, "main::z");
+  ir::VarId Va = varOf(*P, "main::a"), Vb = varOf(*P, "main::b");
+  EXPECT_TRUE(A.pointsTo(X).test(Va));
+  EXPECT_TRUE(A.pointsTo(X).test(Vb));
+  EXPECT_TRUE(A.pointsTo(Z).test(Va));
+  EXPECT_TRUE(A.pointsTo(Z).test(Vb));
+}
+
+TEST(Andersen, CopyCycleConverges) {
+  // p = q; q = p with cycle elimination on and off.
+  const char *Src = R"(
+    void main(void) {
+      int a; int b;
+      int *p; int *q;
+      p = &a;
+      q = &b;
+      while (nondet) { p = q; q = p; }
+    }
+  )";
+  auto P = compileOk(Src);
+  for (bool Elim : {false, true}) {
+    AndersenAnalysis::Options O;
+    O.CycleElimination = Elim;
+    O.CollapsePeriod = 2;
+    AndersenAnalysis A(*P, O);
+    A.run();
+    ir::VarId Pp = varOf(*P, "main::p"), Q = varOf(*P, "main::q");
+    EXPECT_TRUE(A.pointsTo(Pp).test(varOf(*P, "main::a")));
+    EXPECT_TRUE(A.pointsTo(Pp).test(varOf(*P, "main::b")));
+    EXPECT_EQ(A.pointsTo(Pp).toVector(), A.pointsTo(Q).toVector());
+  }
+}
+
+TEST(Andersen, HeapObjectsFlow) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int *x; int *y;
+      x = malloc();
+      y = x;
+      free(x);
+    }
+  )");
+  AndersenAnalysis A(*P);
+  A.run();
+  ir::VarId X = varOf(*P, "main::x"), Y = varOf(*P, "main::y");
+  EXPECT_TRUE(A.mayAlias(X, Y));
+  EXPECT_EQ(A.pointsTo(Y).count(), 1u);
+}
+
+TEST(Andersen, InterproceduralReturnFlow) {
+  auto P = compileOk(R"(
+    int *pick(int *p, int *q) {
+      if (nondet) { return p; }
+      return q;
+    }
+    void main(void) {
+      int a; int b; int c;
+      int *x; int *y; int *z; int *w;
+      x = &a;
+      y = &b;
+      z = pick(x, y);
+      w = &c;
+    }
+  )");
+  AndersenAnalysis A(*P);
+  A.run();
+  ir::VarId Z = varOf(*P, "main::z"), W = varOf(*P, "main::w");
+  EXPECT_TRUE(A.pointsTo(Z).test(varOf(*P, "main::a")));
+  EXPECT_TRUE(A.pointsTo(Z).test(varOf(*P, "main::b")));
+  EXPECT_FALSE(A.pointsTo(Z).test(varOf(*P, "main::c")));
+  EXPECT_FALSE(A.mayAlias(Z, W));
+}
+
+TEST(Andersen, RestrictedRunSeesOnlyGivenStatements) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b;
+      int *p; int *q;
+      1a: p = &a;
+      2a: q = &b;
+    }
+  )");
+  // Restricting to 1a only: q's points-to set stays empty.
+  std::vector<ir::LocId> OnlyFirst = {P->findLabel("1a")};
+  AndersenAnalysis A(*P);
+  A.runOn(OnlyFirst);
+  EXPECT_FALSE(A.pointsTo(varOf(*P, "main::q")).test(varOf(*P, "main::b")));
+  EXPECT_TRUE(A.pointsTo(varOf(*P, "main::p")).test(varOf(*P, "main::a")));
+}
+
+//===--------------------------------------------------------------------===//
+// One-Level Flow
+//===--------------------------------------------------------------------===//
+
+TEST(OneLevelFlow, TopLevelIsDirectional) {
+  // Das's analysis keeps p and r apart in the Figure 2 program (like
+  // Andersen), unlike Steensgaard.
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int c;
+      int *p; int *q; int *r;
+      p = &a;
+      q = &b;
+      r = &c;
+      q = p;
+      q = r;
+    }
+  )");
+  OneLevelFlow F(*P);
+  F.run();
+  EXPECT_FALSE(F.mayAlias(varOf(*P, "main::p"), varOf(*P, "main::r")));
+  EXPECT_TRUE(F.mayAlias(varOf(*P, "main::p"), varOf(*P, "main::q")));
+}
+
+TEST(OneLevelFlow, BelowTopIsUnified) {
+  // Stores unify below the top level.
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b;
+      int *x; int *y;
+      int **p;
+      x = &a;
+      p = &x;
+      y = &b;
+      *p = y;
+    }
+  )");
+  OneLevelFlow F(*P);
+  F.run();
+  // After *p = y, x's cell content is unified with b: x may point to b.
+  std::vector<ir::VarId> Pts = F.pointsToVars(varOf(*P, "main::x"));
+  EXPECT_NE(std::find(Pts.begin(), Pts.end(), varOf(*P, "main::b")),
+            Pts.end());
+}
+
+//===--------------------------------------------------------------------===//
+// Precision ordering (the cascade's foundation)
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+const char *PrecisionPrograms[] = {
+    // Chains and merges.
+    R"(
+    void main(void) {
+      int a; int b; int c;
+      int *p; int *q; int *r; int *s;
+      p = &a; q = &b; r = &c;
+      s = p; s = q;
+      r = s;
+    })",
+    // Multi-level with stores.
+    R"(
+    void main(void) {
+      int a; int b;
+      int *x; int *y; int *z;
+      int **pp; int **qq;
+      x = &a; y = &b;
+      pp = &x; qq = &y;
+      *pp = y;
+      z = *qq;
+    })",
+    // Interprocedural.
+    R"(
+    int *id(int *p) { return p; }
+    void swapish(int **u, int **w) { *u = *w; }
+    void main(void) {
+      int a; int b;
+      int *x; int *y;
+      int **pu; int **pw;
+      x = &a; y = &b;
+      pu = &x; pw = &y;
+      swapish(pu, pw);
+      x = id(y);
+    })",
+    // Heap + free.
+    R"(
+    void main(void) {
+      int *x; int *y; int *z;
+      x = malloc();
+      y = malloc();
+      z = x;
+      free(x);
+      z = y;
+    })",
+};
+
+} // namespace
+
+class PrecisionOrder : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PrecisionOrder, AndersenRefinesOneFlowRefinesSteensgaard) {
+  auto P = compileOk(GetParam());
+  SteensgaardAnalysis S(*P);
+  S.run();
+  OneLevelFlow F(*P);
+  F.run();
+  AndersenAnalysis A(*P);
+  A.run();
+
+  // Alias pairs: Andersen ⊆ OneLevelFlow ⊆ Steensgaard.
+  EXPECT_TRUE(refines(*P, A, F));
+  EXPECT_TRUE(refines(*P, F, S));
+  EXPECT_TRUE(refines(*P, A, S));
+
+  uint64_t NA = countMayAliasPairs(*P, A);
+  uint64_t NF = countMayAliasPairs(*P, F);
+  uint64_t NS = countMayAliasPairs(*P, S);
+  EXPECT_LE(NA, NF);
+  EXPECT_LE(NF, NS);
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, PrecisionOrder,
+                         ::testing::ValuesIn(PrecisionPrograms));
+
+TEST(PrecisionOrder, AliasingStaysInsideSteensgaardPartitions) {
+  // Theorem foundation: Andersen aliases never cross Steensgaard
+  // partitions.
+  auto P = compileOk(R"(
+    void foo(int **h, int *k) { *h = k; }
+    void main(void) {
+      int a; int b; int c;
+      int *x; int *y; int *z;
+      int **pp;
+      x = &a; y = &b; z = &c;
+      pp = &x;
+      foo(pp, y);
+      z = *pp;
+    }
+  )");
+  SteensgaardAnalysis S(*P);
+  S.run();
+  AndersenAnalysis A(*P);
+  A.run();
+  std::vector<ir::VarId> Ptrs = pointerVars(*P);
+  for (size_t I = 0; I < Ptrs.size(); ++I)
+    for (size_t J = I + 1; J < Ptrs.size(); ++J)
+      if (A.mayAlias(Ptrs[I], Ptrs[J])) {
+        EXPECT_TRUE(S.samePartition(Ptrs[I], Ptrs[J]))
+            << P->var(Ptrs[I]).Name << " vs " << P->var(Ptrs[J]).Name;
+      }
+}

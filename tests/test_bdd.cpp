@@ -1,0 +1,147 @@
+//===- tests/test_bdd.cpp - ROBDD package tests ---------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace bsaa;
+using namespace bsaa::bdd;
+
+TEST(Bdd, Terminals) {
+  BddManager M;
+  EXPECT_FALSE(M.isSat(BddFalse));
+  EXPECT_TRUE(M.isSat(BddTrue));
+  EXPECT_TRUE(M.isTautology(BddTrue));
+  EXPECT_FALSE(M.isTautology(BddFalse));
+}
+
+TEST(Bdd, VariablesAreCanonical) {
+  BddManager M;
+  EXPECT_EQ(M.var(3), M.var(3));
+  EXPECT_NE(M.var(3), M.var(4));
+  EXPECT_EQ(M.bddNot(M.var(3)), M.nvar(3));
+  EXPECT_EQ(M.bddNot(M.bddNot(M.var(3))), M.var(3));
+}
+
+TEST(Bdd, BasicIdentities) {
+  BddManager M;
+  BddRef X = M.var(0), Y = M.var(1);
+  EXPECT_EQ(M.bddAnd(X, BddTrue), X);
+  EXPECT_EQ(M.bddAnd(X, BddFalse), BddFalse);
+  EXPECT_EQ(M.bddOr(X, BddFalse), X);
+  EXPECT_EQ(M.bddOr(X, BddTrue), BddTrue);
+  EXPECT_EQ(M.bddAnd(X, X), X);
+  EXPECT_EQ(M.bddAnd(X, M.bddNot(X)), BddFalse);
+  EXPECT_EQ(M.bddOr(X, M.bddNot(X)), BddTrue);
+  // Commutativity through canonicity.
+  EXPECT_EQ(M.bddAnd(X, Y), M.bddAnd(Y, X));
+  EXPECT_EQ(M.bddOr(X, Y), M.bddOr(Y, X));
+}
+
+TEST(Bdd, DeMorgan) {
+  BddManager M;
+  BddRef X = M.var(0), Y = M.var(1);
+  EXPECT_EQ(M.bddNot(M.bddAnd(X, Y)),
+            M.bddOr(M.bddNot(X), M.bddNot(Y)));
+  EXPECT_EQ(M.bddNot(M.bddOr(X, Y)),
+            M.bddAnd(M.bddNot(X), M.bddNot(Y)));
+}
+
+TEST(Bdd, XorAndImplies) {
+  BddManager M;
+  BddRef X = M.var(0), Y = M.var(1);
+  EXPECT_EQ(M.bddXor(X, X), BddFalse);
+  EXPECT_EQ(M.bddXor(X, M.bddNot(X)), BddTrue);
+  EXPECT_EQ(M.bddImplies(X, X), BddTrue);
+  EXPECT_EQ(M.bddImplies(BddTrue, Y), Y);
+}
+
+TEST(Bdd, Restrict) {
+  BddManager M;
+  BddRef X = M.var(0), Y = M.var(1);
+  BddRef F = M.bddAnd(X, Y);
+  EXPECT_EQ(M.restrict(F, 0, true), Y);
+  EXPECT_EQ(M.restrict(F, 0, false), BddFalse);
+  BddRef G = M.bddOr(X, Y);
+  EXPECT_EQ(M.restrict(G, 1, false), X);
+  EXPECT_EQ(M.restrict(G, 1, true), BddTrue);
+}
+
+TEST(Bdd, SatCount) {
+  BddManager M;
+  BddRef X = M.var(0), Y = M.var(1), Z = M.var(2);
+  EXPECT_EQ(M.satCount(BddTrue, 3), 8u);
+  EXPECT_EQ(M.satCount(BddFalse, 3), 0u);
+  EXPECT_EQ(M.satCount(X, 3), 4u);
+  EXPECT_EQ(M.satCount(M.bddAnd(X, Y), 3), 2u);
+  EXPECT_EQ(M.satCount(M.bddAnd(M.bddAnd(X, Y), Z), 3), 1u);
+  EXPECT_EQ(M.satCount(M.bddOr(X, Y), 3), 6u);
+  // Counting over a non-root variable.
+  EXPECT_EQ(M.satCount(Z, 3), 4u);
+}
+
+TEST(Bdd, AnySat) {
+  BddManager M;
+  BddRef X = M.var(0), Y = M.var(1);
+  BddRef F = M.bddAnd(X, M.bddNot(Y));
+  auto Path = M.anySat(F);
+  ASSERT_EQ(Path.size(), 2u);
+  // Evaluate F under the returned assignment: must be true.
+  BddRef Cur = F;
+  for (auto [Var, Val] : Path)
+    Cur = M.restrict(Cur, Var, Val);
+  EXPECT_EQ(Cur, BddTrue);
+  EXPECT_TRUE(M.anySat(BddFalse).empty());
+}
+
+TEST(Bdd, RandomizedEquivalenceWithTruthTables) {
+  // Property: BDD operations agree with brute-force truth tables over 4
+  // variables.
+  BddManager M;
+  std::mt19937 Rng(99);
+  const uint32_t NumVars = 4;
+
+  // A function is a 16-bit truth table.
+  auto BuildRandom = [&](auto &&Self, int Depth) -> std::pair<BddRef, uint16_t> {
+    if (Depth == 0 || Rng() % 3 == 0) {
+      uint32_t V = Rng() % NumVars;
+      uint16_t Table = 0;
+      for (uint32_t A = 0; A < 16; ++A)
+        if ((A >> V) & 1)
+          Table |= uint16_t(1) << A;
+      return {M.var(V), Table};
+    }
+    auto [F, TF] = Self(Self, Depth - 1);
+    auto [G, TG] = Self(Self, Depth - 1);
+    switch (Rng() % 3) {
+    case 0:
+      return {M.bddAnd(F, G), uint16_t(TF & TG)};
+    case 1:
+      return {M.bddOr(F, G), uint16_t(TF | TG)};
+    default:
+      return {M.bddNot(F), uint16_t(~TF)};
+    }
+  };
+
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    auto [F, Table] = BuildRandom(BuildRandom, 4);
+    // satCount must equal the table's popcount.
+    EXPECT_EQ(M.satCount(F, NumVars),
+              uint64_t(__builtin_popcount(uint16_t(Table))));
+    // Evaluate at every assignment via restrict.
+    for (uint32_t A = 0; A < 16; ++A) {
+      BddRef Cur = F;
+      for (uint32_t V = 0; V < NumVars; ++V)
+        Cur = M.restrict(Cur, V, (A >> V) & 1);
+      bool Expected = (Table >> A) & 1;
+      EXPECT_EQ(Cur, Expected ? BddTrue : BddFalse);
+    }
+    // Canonicity: equal tables => equal refs.
+    auto [G, Table2] = BuildRandom(BuildRandom, 3);
+    if (Table2 == Table) {
+      EXPECT_EQ(F, G);
+    }
+  }
+}

@@ -1,0 +1,255 @@
+//===- tests/test_core.cpp - Bootstrapping core tests ---------------------===//
+//
+// Tests for alias covers (Theorems 6/7 in executable form), subset
+// elimination, the cascade driver, and the simulated-parallel packing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Andersen.h"
+#include "analysis/Steensgaard.h"
+#include "core/AliasCover.h"
+#include "core/BootstrapDriver.h"
+#include "core/RelevantStatements.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "fscs/ClusterAliasAnalysis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace bsaa;
+using namespace bsaa::core;
+
+namespace {
+
+std::unique_ptr<ir::Program> compileOk(std::string_view Src) {
+  frontend::Diagnostics Diags;
+  auto P = frontend::compileString(Src, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.toString();
+  return P;
+}
+
+const char *CoverProgram = R"(
+  int *mix(int *p, int *q) {
+    if (nondet) { return p; }
+    return q;
+  }
+  void main(void) {
+    int a; int b; int c; int d;
+    int *w; int *x; int *y; int *z;
+    w = &a;
+    x = &b;
+    y = mix(w, x);
+    z = &c;
+    if (nondet) { z = &d; }
+  }
+)";
+
+} // namespace
+
+TEST(AliasCover, SteensgaardCoverIsDisjointAndComplete) {
+  auto P = compileOk(CoverProgram);
+  analysis::SteensgaardAnalysis S(*P);
+  S.run();
+  std::vector<Cluster> Cover = steensgaardCover(*P, S);
+
+  std::vector<ir::VarId> All;
+  for (ir::VarId V = 0; V < P->numVars(); ++V)
+    All.push_back(V);
+  EXPECT_TRUE(coversAll(Cover, All));
+
+  // Disjoint: no variable appears twice.
+  std::set<ir::VarId> Seen;
+  for (const Cluster &C : Cover)
+    for (ir::VarId V : C.Members)
+      EXPECT_TRUE(Seen.insert(V).second)
+          << P->var(V).Name << " appears in two partitions";
+}
+
+TEST(AliasCover, AndersenClustersCoverThePartition) {
+  auto P = compileOk(CoverProgram);
+  analysis::SteensgaardAnalysis S(*P);
+  S.run();
+  analysis::AndersenAnalysis A(*P);
+  A.run();
+
+  for (Cluster &Part : steensgaardCover(*P, S)) {
+    std::vector<Cluster> Sub = andersenClusters(*P, A, Part);
+    EXPECT_TRUE(coversAll(Sub, Part.Members));
+    for (const Cluster &C : Sub)
+      EXPECT_EQ(C.SourcePartition, Part.SourcePartition);
+  }
+}
+
+TEST(AliasCover, AndersenAliasPairsStayInsideSomeCluster) {
+  // Theorem 7's cover property: every Andersen alias pair appears
+  // together in at least one Andersen cluster.
+  auto P = compileOk(CoverProgram);
+  analysis::SteensgaardAnalysis S(*P);
+  S.run();
+  analysis::AndersenAnalysis A(*P);
+  A.run();
+
+  std::vector<Cluster> AllClusters;
+  for (Cluster &Part : steensgaardCover(*P, S))
+    for (Cluster &C : andersenClusters(*P, A, Part))
+      AllClusters.push_back(std::move(C));
+
+  for (ir::VarId X = 0; X < P->numVars(); ++X) {
+    for (ir::VarId Y = X + 1; Y < P->numVars(); ++Y) {
+      if (!P->var(X).isPointer() || !P->var(Y).isPointer())
+        continue;
+      if (!A.mayAlias(X, Y))
+        continue;
+      bool Together = false;
+      for (const Cluster &C : AllClusters)
+        if (C.containsMember(X) && C.containsMember(Y)) {
+          Together = true;
+          break;
+        }
+      EXPECT_TRUE(Together) << P->var(X).Name << " aliases "
+                            << P->var(Y).Name
+                            << " but no cluster contains both";
+    }
+  }
+}
+
+TEST(AliasCover, SubsetEliminationDropsOnlySubsets) {
+  std::vector<Cluster> Cover(4);
+  Cover[0].Members = {1, 2, 3};
+  Cover[1].Members = {2, 3}; // Subset of 0.
+  Cover[2].Members = {3, 4};
+  Cover[3].Members = {1, 2, 3}; // Duplicate of 0.
+  eliminateSubsetClusters(Cover);
+  ASSERT_EQ(Cover.size(), 2u);
+  EXPECT_TRUE(coversAll(Cover, {1, 2, 3, 4}));
+}
+
+TEST(AliasCover, WholeProgramClusterHasEverything) {
+  auto P = compileOk(CoverProgram);
+  Cluster Whole = wholeProgramCluster(*P);
+  EXPECT_EQ(Whole.Members.size(), P->numVars());
+  for (ir::LocId L : Whole.Statements)
+    EXPECT_TRUE(P->loc(L).isPointerAssign());
+}
+
+//===--------------------------------------------------------------------===//
+// BootstrapDriver
+//===--------------------------------------------------------------------===//
+
+TEST(BootstrapDriver, CoverRespectsThreshold) {
+  auto P = compileOk(CoverProgram);
+  BootstrapOptions Opts;
+  Opts.AndersenThreshold = 1; // Split everything splittable.
+  BootstrapDriver Driver(*P, Opts);
+  std::vector<Cluster> Cover = Driver.buildCover();
+  // Slices attached everywhere.
+  for (const Cluster &C : Cover)
+    EXPECT_FALSE(C.TrackedRefs.empty());
+
+  BootstrapOptions NoSplit;
+  NoSplit.AndersenThreshold = UINT32_MAX;
+  BootstrapDriver Driver2(*P, NoSplit);
+  std::vector<Cluster> Partitions = Driver2.buildCover();
+  // With threshold disabled the cover is exactly the (pointer-bearing)
+  // Steensgaard partitions.
+  for (const Cluster &C : Partitions)
+    EXPECT_NE(C.SourcePartition, UINT32_MAX);
+}
+
+TEST(BootstrapDriver, ClusteredMatchesUnclusteredAliases) {
+  // The headline soundness claim end to end: per-cluster FSCS results
+  // agree with the whole-program FSCS run, for every member pointer at
+  // its owner's exit.
+  auto P = compileOk(CoverProgram);
+  BootstrapOptions Opts;
+  Opts.AndersenThreshold = 1;
+  BootstrapDriver Driver(*P, Opts);
+  const analysis::SteensgaardAnalysis &S = Driver.steensgaard();
+  std::vector<Cluster> Cover = Driver.buildCover();
+
+  Cluster Whole = wholeProgramCluster(*P);
+  fscs::ClusterAliasAnalysis WholeAA(*P, Driver.callGraph(), S, Whole);
+
+  for (const Cluster &C : Cover) {
+    fscs::ClusterAliasAnalysis AA(*P, Driver.callGraph(), S, C);
+    for (ir::VarId V : C.Members) {
+      if (!P->var(V).isPointer())
+        continue;
+      ir::FuncId Owner = P->var(V).Owner != ir::InvalidFunc
+                             ? P->var(V).Owner
+                             : P->entryFunction();
+      if (Owner == ir::InvalidFunc)
+        continue;
+      ir::LocId At = P->func(Owner).Exit;
+      auto Clustered = AA.pointsTo(V, At);
+      auto Reference = WholeAA.pointsTo(V, At);
+      EXPECT_EQ(Clustered.Objects, Reference.Objects)
+          << "pointer " << P->var(V).Name;
+    }
+  }
+}
+
+TEST(BootstrapDriver, RunAllProducesConsistentResult) {
+  auto P = compileOk(CoverProgram);
+  BootstrapOptions Opts;
+  BootstrapDriver Driver(*P, Opts);
+  BootstrapResult R = Driver.runAll();
+  EXPECT_GT(R.NumClusters, 0u);
+  EXPECT_EQ(R.Clusters.size(), R.NumClusters);
+  EXPECT_FALSE(R.AnyBudgetHit);
+  double Sum = 0;
+  for (const ClusterRunResult &C : R.Clusters)
+    Sum += C.Seconds;
+  EXPECT_NEAR(Sum, R.TotalFscsSeconds, 1e-9);
+  EXPECT_LE(R.SimulatedParallelSeconds, R.TotalFscsSeconds + 1e-9);
+}
+
+TEST(BootstrapDriver, OneFlowCascadeStillCovers) {
+  auto P = compileOk(CoverProgram);
+  BootstrapOptions Opts;
+  Opts.AndersenThreshold = 1;
+  Opts.UseOneFlow = true;
+  BootstrapDriver Driver(*P, Opts);
+  std::vector<Cluster> Cover = Driver.buildCover();
+  std::vector<ir::VarId> Pointers;
+  for (ir::VarId V = 0; V < P->numVars(); ++V)
+    if (P->var(V).isPointer())
+      Pointers.push_back(V);
+  EXPECT_TRUE(coversAll(Cover, Pointers));
+}
+
+TEST(BootstrapDriver, ThreadedRunMatchesSequential) {
+  auto P = compileOk(CoverProgram);
+  BootstrapOptions Seq;
+  BootstrapDriver D1(*P, Seq);
+  BootstrapResult R1 = D1.runAll();
+
+  BootstrapOptions Par;
+  Par.Threads = 4;
+  BootstrapDriver D2(*P, Par);
+  BootstrapResult R2 = D2.runAll();
+
+  EXPECT_EQ(R1.NumClusters, R2.NumClusters);
+  EXPECT_EQ(R1.MaxClusterSize, R2.MaxClusterSize);
+  // Same pointer counts cluster by cluster (order is preserved).
+  for (size_t I = 0; I < R1.Clusters.size(); ++I)
+    EXPECT_EQ(R1.Clusters[I].PointerCount, R2.Clusters[I].PointerCount);
+}
+
+TEST(BootstrapDriver, SimulateParallelGreedyPacking) {
+  std::vector<ClusterRunResult> Rs(10);
+  for (int I = 0; I < 10; ++I) {
+    Rs[I].PointerCount = 10;
+    Rs[I].Seconds = 1.0;
+  }
+  // 10 equal clusters in 5 parts: 2 per part -> max part = 2s.
+  EXPECT_NEAR(BootstrapDriver::simulateParallel(Rs, 5), 2.0, 1e-9);
+  // One part: everything serial.
+  EXPECT_NEAR(BootstrapDriver::simulateParallel(Rs, 1), 10.0, 1e-9);
+  // More parts than clusters: max is one cluster.
+  EXPECT_NEAR(BootstrapDriver::simulateParallel(Rs, 10), 1.0, 1e-9);
+  EXPECT_EQ(BootstrapDriver::simulateParallel({}, 5), 0.0);
+}

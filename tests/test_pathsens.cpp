@@ -1,0 +1,184 @@
+//===- tests/test_pathsens.cpp - Path-sensitivity extension tests ---------===//
+//
+// Tests for the Section 3 extension: correlated branches prune
+// infeasible paths; assignments and stores between correlated tests
+// invalidate the correlation; loops disable the analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "fscs/PathSensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace bsaa;
+using namespace bsaa::fscs;
+
+namespace {
+
+std::unique_ptr<ir::Program> compileOk(std::string_view Src) {
+  frontend::Diagnostics Diags;
+  auto P = frontend::compileString(Src, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.toString();
+  return P;
+}
+
+std::vector<std::string> originNames(const ir::Program &P,
+                                     const std::vector<ir::Ref> &Rs) {
+  std::vector<std::string> Out;
+  for (ir::Ref R : Rs)
+    Out.push_back(ir::refToString(P, R));
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+TEST(PathSens, CorrelatedBranchesPruneInfeasiblePath) {
+  // Both ifs test c == d: taking then in the first and else in the
+  // second (or vice versa) is infeasible, so y's value at the end can
+  // only be &a (then/then) or whatever y held (else/else: y = &b2).
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int b2;
+      int c; int d;
+      int *x; int *y;
+      if (c == d) { x = &a; } else { x = &b; }
+      if (c == d) { y = x; } else { y = &b2; }
+      here: y = y;
+    }
+  )");
+  PathSensitiveOrigins PS(*P);
+  auto R = PS.originsBefore(P->findLabel("here"),
+                            ir::Ref::direct(P->findVariable("main::y")));
+  ASSERT_TRUE(R.Supported);
+  EXPECT_GT(R.PrunedPaths, 0u);
+  std::vector<std::string> Names = originNames(*P, R.Origins);
+  // &b (from x's else-arm combined with y's then-arm) must be pruned.
+  EXPECT_EQ(Names, (std::vector<std::string>{"&main::a", "&main::b2"}));
+}
+
+TEST(PathSens, NegatedTestCorrelatesTheOtherWay) {
+  // Second branch tests c != d: its THEN arm pairs with the first
+  // branch's ELSE arm.
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int other;
+      int c; int d;
+      int *x; int *y;
+      if (c == d) { x = &a; } else { x = &b; }
+      if (c != d) { y = x; } else { y = &other; }
+      here: y = y;
+    }
+  )");
+  PathSensitiveOrigins PS(*P);
+  auto R = PS.originsBefore(P->findLabel("here"),
+                            ir::Ref::direct(P->findVariable("main::y")));
+  ASSERT_TRUE(R.Supported);
+  std::vector<std::string> Names = originNames(*P, R.Origins);
+  // y = x only on c != d, where x = &b. &a infeasible.
+  EXPECT_EQ(Names,
+            (std::vector<std::string>{"&main::b", "&main::other"}));
+}
+
+TEST(PathSens, AssignmentBetweenTestsInvalidatesCorrelation) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int b2;
+      int c; int d;
+      int *x; int *y;
+      if (c == d) { x = &a; } else { x = &b; }
+      c = 5;   // c changes: the second test is independent now.
+      if (c == d) { y = x; } else { y = &b2; }
+      here: y = y;
+    }
+  )");
+  PathSensitiveOrigins PS(*P);
+  auto R = PS.originsBefore(P->findLabel("here"),
+                            ir::Ref::direct(P->findVariable("main::y")));
+  ASSERT_TRUE(R.Supported);
+  std::vector<std::string> Names = originNames(*P, R.Origins);
+  // No pruning: &b is feasible (c changed between the tests).
+  EXPECT_EQ(Names, (std::vector<std::string>{"&main::a", "&main::b",
+                                             "&main::b2"}));
+}
+
+TEST(PathSens, NondetConditionsDoNotCorrelate) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int b2;
+      int *x; int *y;
+      if (nondet) { x = &a; } else { x = &b; }
+      if (nondet) { y = x; } else { y = &b2; }
+      here: y = y;
+    }
+  )");
+  PathSensitiveOrigins PS(*P);
+  auto R = PS.originsBefore(P->findLabel("here"),
+                            ir::Ref::direct(P->findVariable("main::y")));
+  ASSERT_TRUE(R.Supported);
+  EXPECT_EQ(R.PrunedPaths, 0u);
+  EXPECT_EQ(originNames(*P, R.Origins),
+            (std::vector<std::string>{"&main::a", "&main::b",
+                                      "&main::b2"}));
+}
+
+TEST(PathSens, SingleVariableTestCorrelates) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int b2;
+      int flag;
+      int *x; int *y;
+      if (flag) { x = &a; } else { x = &b; }
+      if (flag) { y = x; } else { y = &b2; }
+      here: y = y;
+    }
+  )");
+  PathSensitiveOrigins PS(*P);
+  auto R = PS.originsBefore(P->findLabel("here"),
+                            ir::Ref::direct(P->findVariable("main::y")));
+  ASSERT_TRUE(R.Supported);
+  EXPECT_EQ(originNames(*P, R.Origins),
+            (std::vector<std::string>{"&main::a", "&main::b2"}));
+}
+
+TEST(PathSens, LoopsAreUnsupported) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int *x;
+      while (nondet) { x = &a; }
+      here: x = x;
+    }
+  )");
+  PathSensitiveOrigins PS(*P);
+  EXPECT_FALSE(PS.supportsFunction(P->findFunction("main")));
+  auto R = PS.originsBefore(P->findLabel("here"),
+                            ir::Ref::direct(P->findVariable("main::x")));
+  EXPECT_FALSE(R.Supported);
+}
+
+TEST(PathSens, StoreInvalidatesAllPredicates) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int b2;
+      int c; int d;
+      int *x; int *y;
+      int *ip;
+      if (c == d) { x = &a; } else { x = &b; }
+      ip = &c;
+      *ip = 9;  // May write c: correlation must die.
+      if (c == d) { y = x; } else { y = &b2; }
+      here: y = y;
+    }
+  )");
+  PathSensitiveOrigins PS(*P);
+  auto R = PS.originsBefore(P->findLabel("here"),
+                            ir::Ref::direct(P->findVariable("main::y")));
+  ASSERT_TRUE(R.Supported);
+  EXPECT_EQ(originNames(*P, R.Origins),
+            (std::vector<std::string>{"&main::a", "&main::b",
+                                      "&main::b2"}));
+}

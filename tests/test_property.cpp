@@ -1,0 +1,310 @@
+//===- tests/test_property.cpp - Randomized end-to-end properties ---------===//
+//
+// The heavyweight correctness artillery:
+//
+//  * a concrete interpreter executes random paths through generated
+//    programs and records every (pointer, location, object) fact it
+//    observes; every observed fact must be contained in the FSCS
+//    engine's FSCI points-to result (true soundness, not just
+//    cross-analysis agreement);
+//  * the precision sandwich FSCS ⊆ Andersen ⊆ Steensgaard on the same
+//    random programs;
+//  * clustered-vs-whole-program agreement through the full cascade.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Andersen.h"
+#include "analysis/FlowSensitiveDataflow.h"
+#include "analysis/Steensgaard.h"
+#include "core/AliasCover.h"
+#include "core/BootstrapDriver.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "fscs/ClusterAliasAnalysis.h"
+#include "ir/CallGraph.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+
+using namespace bsaa;
+
+namespace {
+
+//===--------------------------------------------------------------------===//
+// Concrete interpreter
+//===--------------------------------------------------------------------===//
+
+/// Runs random executions of a program, recording which object every
+/// pointer variable held just before each visited location.
+class Interpreter {
+public:
+  Interpreter(const ir::Program &P, uint64_t Seed)
+      : Prog(P), Rng(Seed), Values(P.numVars(), ir::InvalidVar) {}
+
+  /// Observed facts: (location, variable) -> objects seen there.
+  using Observations =
+      std::map<std::pair<ir::LocId, ir::VarId>, std::set<ir::VarId>>;
+
+  /// Runs \p Paths random executions of main, each capped at
+  /// \p MaxSteps interpreted statements. Once a run truncates anything
+  /// (recursion or step cap), its subsequent observations would not
+  /// correspond to real program semantics, so recording stops.
+  Observations run(uint32_t Paths, uint32_t MaxSteps) {
+    Observations Out;
+    for (uint32_t I = 0; I < Paths; ++I) {
+      std::fill(Values.begin(), Values.end(), ir::InvalidVar);
+      StepsLeft = MaxSteps;
+      Tainted = false;
+      if (Prog.entryFunction() != ir::InvalidFunc)
+        execFunction(Prog.entryFunction(), Out, 0);
+    }
+    return Out;
+  }
+
+private:
+  void record(ir::LocId L, Observations &Out) {
+    if (Tainted)
+      return;
+    for (ir::VarId V = 0; V < Prog.numVars(); ++V) {
+      if (!Prog.var(V).isPointer())
+        continue;
+      if (Values[V] != ir::InvalidVar)
+        Out[{L, V}].insert(Values[V]);
+    }
+  }
+
+  void execFunction(ir::FuncId F, Observations &Out, uint32_t Depth) {
+    if (Depth > 24) {
+      Tainted = true; // Faked return: semantics diverge from here on.
+      return;
+    }
+    const ir::Function &Fn = Prog.func(F);
+    ir::LocId L = Fn.Entry;
+    while (true) {
+      if (StepsLeft-- == 0) {
+        Tainted = true;
+        return;
+      }
+      record(L, Out);
+      const ir::Location &Loc = Prog.loc(L);
+      switch (Loc.Kind) {
+      case ir::StmtKind::Copy:
+        Values[Loc.Lhs] = Values[Loc.Rhs];
+        break;
+      case ir::StmtKind::AddrOf:
+      case ir::StmtKind::Alloc:
+        Values[Loc.Lhs] = Loc.Rhs;
+        break;
+      case ir::StmtKind::Load:
+        // *y: the value stored in the object y points to. Objects are
+        // variables, so the content is that variable's value.
+        Values[Loc.Lhs] = Values[Loc.Rhs] != ir::InvalidVar
+                              ? Values[Values[Loc.Rhs]]
+                              : ir::InvalidVar;
+        break;
+      case ir::StmtKind::Store:
+        if (Values[Loc.Lhs] != ir::InvalidVar)
+          Values[Values[Loc.Lhs]] = Values[Loc.Rhs];
+        break;
+      case ir::StmtKind::Nullify:
+        Values[Loc.Lhs] = ir::InvalidVar;
+        break;
+      case ir::StmtKind::Call:
+        if (!Loc.Callees.empty()) {
+          ir::FuncId Callee =
+              Loc.Callees[Rng() % Loc.Callees.size()];
+          execFunction(Callee, Out, Depth + 1);
+        }
+        break;
+      default:
+        break;
+      }
+      if (L == Fn.Exit || Loc.Succs.empty())
+        return;
+      L = Loc.Succs[Rng() % Loc.Succs.size()];
+    }
+  }
+
+  const ir::Program &Prog;
+  std::mt19937_64 Rng;
+  /// Concrete store: every variable holds the id of the object its
+  /// value points to (InvalidVar = null/uninitialized). Depth-0
+  /// variables hold "values" the same way, matching the paper's
+  /// uniform update-sequence treatment.
+  std::vector<ir::VarId> Values;
+  uint64_t StepsLeft = 0;
+  bool Tainted = false;
+};
+
+std::unique_ptr<ir::Program> generate(uint64_t Seed) {
+  workload::GeneratorConfig Cfg;
+  Cfg.Seed = Seed;
+  Cfg.NumFunctions = 6;
+  Cfg.StmtsPerFunction = 8;
+  Cfg.Communities = 3;
+  Cfg.LocalsPerFunction = 2;
+  Cfg.RecursionPercent = 10;
+  frontend::Diagnostics Diags;
+  auto P = frontend::compileString(workload::generateProgram(Cfg), Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.toString();
+  return P;
+}
+
+} // namespace
+
+class RandomPrograms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomPrograms, FscsIsSoundAgainstConcreteExecutions) {
+  auto P = generate(GetParam());
+  if (!P)
+    return;
+  Interpreter Interp(*P, GetParam() * 31 + 7);
+  Interpreter::Observations Obs = Interp.run(60, 3000);
+
+  ir::CallGraph CG(*P);
+  analysis::SteensgaardAnalysis S(*P);
+  S.run();
+  core::Cluster Whole = core::wholeProgramCluster(*P);
+  fscs::ClusterAliasAnalysis AA(*P, CG, S, Whole);
+
+  uint32_t Checked = 0;
+  for (const auto &[Where, Objects] : Obs) {
+    auto [Loc, Var] = Where;
+    // Sample to keep the test fast: every 7th fact.
+    if (++Checked % 7 != 0)
+      continue;
+    auto R = AA.pointsTo(Var, Loc);
+    for (ir::VarId Seen : Objects) {
+      EXPECT_TRUE(std::binary_search(R.Objects.begin(), R.Objects.end(),
+                                     Seen))
+          << "execution saw " << P->var(Var).Name << " -> "
+          << P->var(Seen).Name << " at L" << Loc
+          << " but FSCS did not report it (seed " << GetParam() << ")";
+    }
+  }
+}
+
+TEST_P(RandomPrograms, PrecisionSandwich) {
+  auto P = generate(GetParam());
+  if (!P)
+    return;
+  ir::CallGraph CG(*P);
+  analysis::SteensgaardAnalysis S(*P);
+  S.run();
+  analysis::AndersenAnalysis A(*P);
+  A.run();
+  core::Cluster Whole = core::wholeProgramCluster(*P);
+  fscs::ClusterAliasAnalysis AA(*P, CG, S, Whole);
+
+  // Invariant: every FSCS target lies inside the Steensgaard pointee
+  // partition (the engine's constraint-branching fallback enumerates
+  // it, so targets can occasionally exceed Andersen's, but never
+  // Steensgaard's). Statistically FSCS is far more precise than
+  // Andersen; assert the aggregate direction too.
+  uint64_t FscsTargets = 0, AndersenTargets = 0;
+  for (ir::VarId V = 0; V < P->numVars(); ++V) {
+    if (!P->var(V).isPointer())
+      continue;
+    ir::FuncId Owner = P->var(V).Owner != ir::InvalidFunc
+                           ? P->var(V).Owner
+                           : P->entryFunction();
+    if (Owner == ir::InvalidFunc)
+      continue;
+    ir::LocId At = P->func(Owner).Exit;
+    auto Fscs = AA.pointsTo(V, At);
+    FscsTargets += Fscs.Objects.size();
+    AndersenTargets += A.pointsTo(V).count();
+
+    std::vector<ir::VarId> SteensTargets = S.pointsToVars(V);
+    for (ir::VarId O : Fscs.Objects) {
+      EXPECT_TRUE(std::find(SteensTargets.begin(), SteensTargets.end(),
+                            O) != SteensTargets.end())
+          << "FSCS reports " << P->var(V).Name << " -> "
+          << P->var(O).Name
+          << " outside the Steensgaard pointee partition (seed "
+          << GetParam() << ")";
+    }
+  }
+  EXPECT_LE(FscsTargets, AndersenTargets)
+      << "flow-sensitivity should not lose precision in aggregate";
+}
+
+TEST_P(RandomPrograms, MonolithicReferenceSandwich) {
+  // interpreter ⊆ monolithic flow-sensitive dataflow ⊆ Andersen: the
+  // reference baseline is sound against concrete executions and
+  // refines the flow-insensitive analysis.
+  auto P = generate(GetParam());
+  if (!P)
+    return;
+  Interpreter Interp(*P, GetParam() * 77 + 3);
+  Interpreter::Observations Obs = Interp.run(40, 2000);
+
+  analysis::FlowSensitiveDataflow Ref(*P);
+  Ref.run();
+  ASSERT_FALSE(Ref.capped());
+  analysis::AndersenAnalysis A(*P);
+  A.run();
+
+  uint32_t Checked = 0;
+  for (const auto &[Where, Objects] : Obs) {
+    auto [Loc, Var] = Where;
+    if (++Checked % 5 != 0)
+      continue;
+    const SparseBitVector &RefPts = Ref.pointsTo(Var, Loc);
+    for (ir::VarId Seen : Objects)
+      EXPECT_TRUE(RefPts.test(Seen))
+          << "execution saw " << P->var(Var).Name << " -> "
+          << P->var(Seen).Name << " at L" << Loc
+          << " but the monolithic dataflow missed it (seed "
+          << GetParam() << ")";
+    // Reference refines Andersen.
+    RefPts.forEach([&](uint32_t O) {
+      EXPECT_TRUE(A.pointsTo(Var).test(O))
+          << "monolithic dataflow reports " << P->var(Var).Name << " -> "
+          << P->var(O).Name << " beyond Andersen (seed " << GetParam()
+          << ")";
+    });
+  }
+}
+
+TEST_P(RandomPrograms, CascadeAgreesWithWholeProgram) {
+  auto P = generate(GetParam());
+  if (!P)
+    return;
+  core::BootstrapOptions Opts;
+  Opts.AndersenThreshold = 4; // Force Andersen splitting.
+  core::BootstrapDriver Driver(*P, Opts);
+  const analysis::SteensgaardAnalysis &S = Driver.steensgaard();
+  std::vector<core::Cluster> Cover = Driver.buildCover();
+
+  core::Cluster Whole = core::wholeProgramCluster(*P);
+  fscs::ClusterAliasAnalysis WholeAA(*P, Driver.callGraph(), S, Whole);
+
+  for (const core::Cluster &C : Cover) {
+    fscs::ClusterAliasAnalysis AA(*P, Driver.callGraph(), S, C);
+    uint32_t Checked = 0;
+    for (ir::VarId V : C.Members) {
+      if (!P->var(V).isPointer() || ++Checked > 5)
+        continue;
+      ir::FuncId Owner = P->var(V).Owner != ir::InvalidFunc
+                             ? P->var(V).Owner
+                             : P->entryFunction();
+      if (Owner == ir::InvalidFunc)
+        continue;
+      ir::LocId At = P->func(Owner).Exit;
+      EXPECT_EQ(AA.pointsTo(V, At).Objects,
+                WholeAA.pointsTo(V, At).Objects)
+          << "cluster/whole mismatch for " << P->var(V).Name << " (seed "
+          << GetParam() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                           10));

@@ -1,0 +1,221 @@
+//===- tests/test_reference.cpp - Monolithic dataflow + constraints -------===//
+//
+// Unit tests for the monolithic flow-sensitive dataflow baseline and
+// the Condition / ConstraintAtom machinery of Definition 8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FlowSensitiveDataflow.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "fscs/Constraint.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsaa;
+
+namespace {
+
+std::unique_ptr<ir::Program> compileOk(std::string_view Src) {
+  frontend::Diagnostics Diags;
+  auto P = frontend::compileString(Src, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.toString();
+  return P;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// FlowSensitiveDataflow
+//===--------------------------------------------------------------------===//
+
+TEST(MonolithicDataflow, StrongUpdates) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int *x;
+      1a: x = &a;
+      2a: x = &b;
+      3a: x = x;
+    }
+  )");
+  analysis::FlowSensitiveDataflow D(*P);
+  D.run();
+  ir::VarId X = P->findVariable("main::x");
+  EXPECT_TRUE(D.pointsTo(X, P->findLabel("2a")).test(
+      P->findVariable("main::a")));
+  const SparseBitVector &At3 = D.pointsTo(X, P->findLabel("3a"));
+  EXPECT_FALSE(At3.test(P->findVariable("main::a")));
+  EXPECT_TRUE(At3.test(P->findVariable("main::b")));
+}
+
+TEST(MonolithicDataflow, StoreStrongVsWeak) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int b; int c;
+      int *x; int *y; int *z;
+      int **p;
+      x = &a;
+      y = &b;
+      1a: p = &x;
+      2a: z = &c;
+      3a: *p = z;
+      4a: x = x;
+      if (nondet) { p = &y; }
+      5a: *p = z;
+      6a: y = y;
+    }
+  )");
+  analysis::FlowSensitiveDataflow D(*P);
+  D.run();
+  ir::VarId X = P->findVariable("main::x");
+  ir::VarId Y = P->findVariable("main::y");
+  // 3a is a strong update through a singleton pointer.
+  const SparseBitVector &XAt4 = D.pointsTo(X, P->findLabel("4a"));
+  EXPECT_TRUE(XAt4.test(P->findVariable("main::c")));
+  EXPECT_FALSE(XAt4.test(P->findVariable("main::a")));
+  // 5a is weak (p may be &x or &y): y keeps b and gains c.
+  const SparseBitVector &YAt6 = D.pointsTo(Y, P->findLabel("6a"));
+  EXPECT_TRUE(YAt6.test(P->findVariable("main::b")));
+  EXPECT_TRUE(YAt6.test(P->findVariable("main::c")));
+}
+
+TEST(MonolithicDataflow, Interprocedural) {
+  auto P = compileOk(R"(
+    int *id(int *p) { return p; }
+    void main(void) {
+      int a;
+      int *x; int *y;
+      x = &a;
+      y = id(x);
+      1a: y = y;
+    }
+  )");
+  analysis::FlowSensitiveDataflow D(*P);
+  D.run();
+  EXPECT_TRUE(
+      D.pointsTo(P->findVariable("main::y"), P->findLabel("1a"))
+          .test(P->findVariable("main::a")));
+  EXPECT_FALSE(D.capped());
+}
+
+TEST(MonolithicDataflow, IterationCapReports) {
+  auto P = compileOk(R"(
+    void main(void) {
+      int a; int *x;
+      while (nondet) { x = &a; }
+    }
+  )");
+  analysis::FlowSensitiveDataflow D(*P);
+  D.run(2);
+  EXPECT_TRUE(D.capped());
+}
+
+TEST(MonolithicDataflow, UnreachableCodeStaysEmpty) {
+  auto P = compileOk(R"(
+    void never(void) {
+      int a; int *x;
+      1b: x = &a;
+    }
+    void main(void) {
+      int b; int *y;
+      y = &b;
+    }
+  )");
+  analysis::FlowSensitiveDataflow D(*P);
+  D.run();
+  // `never` is not called: no state reaches its body.
+  EXPECT_TRUE(
+      D.pointsTo(P->findVariable("never::x"), P->findLabel("1b")).empty());
+}
+
+//===--------------------------------------------------------------------===//
+// Condition / ConstraintAtom
+//===--------------------------------------------------------------------===//
+
+TEST(Condition, TrueAndFalse) {
+  fscs::Condition C;
+  EXPECT_TRUE(C.isTrue());
+  EXPECT_FALSE(C.isFalse());
+  fscs::Condition F = fscs::Condition::falseCondition();
+  EXPECT_TRUE(F.isFalse());
+  EXPECT_FALSE(F.isTrue());
+}
+
+TEST(Condition, ConjoinDeduplicatesAndSorts) {
+  fscs::ConstraintAtom A{5, fscs::ConstraintKind::PointsTo, 1, 2};
+  fscs::ConstraintAtom B{3, fscs::ConstraintKind::NotPointsTo, 1, 2};
+  fscs::Condition C;
+  C = C.conjoin(A, 8);
+  C = C.conjoin(B, 8);
+  C = C.conjoin(A, 8); // Duplicate.
+  EXPECT_EQ(C.size(), 2u);
+  // Sorted by location first.
+  EXPECT_EQ(C.atoms()[0].Loc, 3u);
+  EXPECT_EQ(C.atoms()[1].Loc, 5u);
+}
+
+TEST(Condition, ContradictionCollapsesToFalse) {
+  fscs::ConstraintAtom A{5, fscs::ConstraintKind::PointsTo, 1, 2};
+  fscs::ConstraintAtom NotA{5, fscs::ConstraintKind::NotPointsTo, 1, 2};
+  fscs::Condition C;
+  C = C.conjoin(A, 8);
+  C = C.conjoin(NotA, 8);
+  EXPECT_TRUE(C.isFalse());
+
+  fscs::ConstraintAtom Same{7, fscs::ConstraintKind::SameObject, 3, 4};
+  fscs::ConstraintAtom Diff{7, fscs::ConstraintKind::NotSameObject, 3, 4};
+  fscs::Condition D;
+  D = D.conjoin(Same, 8);
+  D = D.conjoin(Diff, 8);
+  EXPECT_TRUE(D.isFalse());
+}
+
+TEST(Condition, WideningDropsAtomsBeyondCap) {
+  fscs::Condition C;
+  for (uint32_t I = 0; I < 10; ++I)
+    C = C.conjoin(
+        fscs::ConstraintAtom{I, fscs::ConstraintKind::PointsTo, I, I + 1},
+        4);
+  EXPECT_EQ(C.size(), 4u);
+  EXPECT_FALSE(C.isFalse());
+}
+
+TEST(Condition, ConjoinAllMergesAndDetectsContradiction) {
+  fscs::ConstraintAtom A{1, fscs::ConstraintKind::PointsTo, 1, 2};
+  fscs::ConstraintAtom B{2, fscs::ConstraintKind::PointsTo, 3, 4};
+  fscs::Condition C1, C2;
+  C1 = C1.conjoin(A, 8);
+  C2 = C2.conjoin(B, 8);
+  fscs::Condition Merged = C1.conjoinAll(C2, 8);
+  EXPECT_EQ(Merged.size(), 2u);
+
+  fscs::Condition C3;
+  C3 = C3.conjoin(
+      fscs::ConstraintAtom{1, fscs::ConstraintKind::NotPointsTo, 1, 2}, 8);
+  EXPECT_TRUE(C1.conjoinAll(C3, 8).isFalse());
+}
+
+TEST(Condition, HashAndEquality) {
+  fscs::ConstraintAtom A{1, fscs::ConstraintKind::PointsTo, 1, 2};
+  fscs::ConstraintAtom B{2, fscs::ConstraintKind::SameObject, 3, 4};
+  fscs::Condition C1, C2;
+  C1 = C1.conjoin(A, 8).conjoin(B, 8);
+  C2 = C2.conjoin(B, 8).conjoin(A, 8); // Other order: canonical form.
+  EXPECT_EQ(C1, C2);
+  EXPECT_EQ(C1.hash(), C2.hash());
+  EXPECT_FALSE(C1 == fscs::Condition());
+}
+
+TEST(Condition, ToStringRendersKinds) {
+  auto P = compileOk("int *g; int *h; void main(void) { g = h; }");
+  ir::VarId G = P->findVariable("g");
+  ir::VarId H = P->findVariable("h");
+  fscs::Condition C;
+  C = C.conjoin(fscs::ConstraintAtom{0, fscs::ConstraintKind::PointsTo, G, H},
+                8);
+  std::string S = C.toString(*P);
+  EXPECT_NE(S.find("g"), std::string::npos);
+  EXPECT_NE(S.find("->"), std::string::npos);
+  EXPECT_EQ(fscs::Condition().toString(*P), "true");
+  EXPECT_EQ(fscs::Condition::falseCondition().toString(*P), "false");
+}

@@ -1,0 +1,381 @@
+//===- tests/test_support.cpp - Support library tests ---------------------===//
+//
+// Unit tests for src/support: UnionFind, SparseBitVector, SCC,
+// Worklist, ThreadPool, StringInterner, Statistics, GraphWriter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/GraphWriter.h"
+#include "support/Scc.h"
+#include "support/SparseBitVector.h"
+#include "support/Statistics.h"
+#include "support/StringInterner.h"
+#include "support/ThreadPool.h"
+#include "support/UnionFind.h"
+#include "support/Worklist.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <set>
+
+using namespace bsaa;
+
+//===--------------------------------------------------------------------===//
+// StringInterner
+//===--------------------------------------------------------------------===//
+
+TEST(StringInterner, InterningIsIdempotent) {
+  StringInterner SI;
+  StringId A = SI.intern("foo");
+  StringId B = SI.intern("bar");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(A, SI.intern("foo"));
+  EXPECT_EQ(B, SI.intern("bar"));
+  EXPECT_EQ(SI.size(), 2u);
+}
+
+TEST(StringInterner, TextRoundTrips) {
+  StringInterner SI;
+  StringId A = SI.intern("hello world");
+  EXPECT_EQ(SI.text(A), "hello world");
+  EXPECT_TRUE(SI.contains("hello world"));
+  EXPECT_FALSE(SI.contains("absent"));
+}
+
+TEST(StringInterner, IdsAreDense) {
+  StringInterner SI;
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(SI.intern("s" + std::to_string(I)), StringId(I));
+}
+
+//===--------------------------------------------------------------------===//
+// UnionFind
+//===--------------------------------------------------------------------===//
+
+TEST(UnionFind, SingletonsAreDistinct) {
+  UnionFind UF(5);
+  EXPECT_EQ(UF.numSets(), 5u);
+  for (uint32_t I = 0; I < 5; ++I)
+    for (uint32_t J = I + 1; J < 5; ++J)
+      EXPECT_FALSE(UF.connected(I, J));
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind UF(4);
+  UF.unite(0, 1);
+  UF.unite(2, 3);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_TRUE(UF.connected(2, 3));
+  EXPECT_FALSE(UF.connected(1, 2));
+  EXPECT_EQ(UF.numSets(), 2u);
+  UF.unite(0, 3);
+  EXPECT_TRUE(UF.connected(1, 2));
+  EXPECT_EQ(UF.numSets(), 1u);
+}
+
+TEST(UnionFind, UniteIsIdempotent) {
+  UnionFind UF(3);
+  uint32_t R1 = UF.unite(0, 1);
+  uint32_t R2 = UF.unite(0, 1);
+  EXPECT_EQ(R1, R2);
+  EXPECT_EQ(UF.numSets(), 2u);
+}
+
+TEST(UnionFind, GrowAndMakeSet) {
+  UnionFind UF;
+  uint32_t A = UF.makeSet();
+  uint32_t B = UF.makeSet();
+  EXPECT_NE(A, B);
+  UF.grow(10);
+  EXPECT_EQ(UF.size(), 10u);
+  EXPECT_FALSE(UF.connected(A, 9));
+  UF.unite(A, 9);
+  EXPECT_TRUE(UF.connected(A, 9));
+}
+
+TEST(UnionFind, RandomizedTransitivity) {
+  // Property: union-find agrees with a naive transitive-closure model.
+  std::mt19937 Rng(42);
+  UnionFind UF(64);
+  std::vector<uint32_t> Model(64);
+  for (uint32_t I = 0; I < 64; ++I)
+    Model[I] = I;
+  auto ModelFind = [&Model](uint32_t X) {
+    while (Model[X] != X)
+      X = Model[X];
+    return X;
+  };
+  for (int Step = 0; Step < 500; ++Step) {
+    uint32_t A = Rng() % 64, B = Rng() % 64;
+    UF.unite(A, B);
+    Model[ModelFind(A)] = ModelFind(B);
+    uint32_t X = Rng() % 64, Y = Rng() % 64;
+    EXPECT_EQ(UF.connected(X, Y), ModelFind(X) == ModelFind(Y));
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// SparseBitVector
+//===--------------------------------------------------------------------===//
+
+TEST(SparseBitVector, SetTestReset) {
+  SparseBitVector V;
+  EXPECT_TRUE(V.empty());
+  EXPECT_TRUE(V.set(5));
+  EXPECT_FALSE(V.set(5));
+  EXPECT_TRUE(V.test(5));
+  EXPECT_FALSE(V.test(6));
+  EXPECT_TRUE(V.set(1000000));
+  EXPECT_TRUE(V.test(1000000));
+  EXPECT_EQ(V.count(), 2u);
+  EXPECT_TRUE(V.reset(5));
+  EXPECT_FALSE(V.reset(5));
+  EXPECT_FALSE(V.test(5));
+  EXPECT_EQ(V.count(), 1u);
+}
+
+TEST(SparseBitVector, UnionWith) {
+  SparseBitVector A, B;
+  A.set(1);
+  A.set(100);
+  B.set(2);
+  B.set(100);
+  B.set(5000);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_EQ(A.count(), 4u);
+  EXPECT_TRUE(A.test(1));
+  EXPECT_TRUE(A.test(2));
+  EXPECT_TRUE(A.test(100));
+  EXPECT_TRUE(A.test(5000));
+  // Second union is a no-op.
+  EXPECT_FALSE(A.unionWith(B));
+}
+
+TEST(SparseBitVector, IntersectWith) {
+  SparseBitVector A, B;
+  for (uint32_t I : {1u, 64u, 100u, 128u})
+    A.set(I);
+  for (uint32_t I : {64u, 100u, 999u})
+    B.set(I);
+  EXPECT_TRUE(A.intersectWith(B));
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_TRUE(A.test(64));
+  EXPECT_TRUE(A.test(100));
+  EXPECT_FALSE(A.intersectWith(B));
+}
+
+TEST(SparseBitVector, IntersectsAndSubset) {
+  SparseBitVector A, B, C;
+  A.set(10);
+  A.set(200);
+  B.set(200);
+  C.set(11);
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_FALSE(A.intersects(C));
+  EXPECT_TRUE(B.isSubsetOf(A));
+  EXPECT_FALSE(A.isSubsetOf(B));
+  SparseBitVector Empty;
+  EXPECT_TRUE(Empty.isSubsetOf(A));
+  EXPECT_FALSE(A.intersects(Empty));
+}
+
+TEST(SparseBitVector, ToVectorIsSorted) {
+  SparseBitVector V;
+  for (uint32_t I : {500u, 3u, 77u, 64u, 65u})
+    V.set(I);
+  std::vector<uint32_t> Out = V.toVector();
+  std::vector<uint32_t> Expected = {3, 64, 65, 77, 500};
+  EXPECT_EQ(Out, Expected);
+}
+
+TEST(SparseBitVector, EqualityAndHash) {
+  SparseBitVector A, B;
+  A.set(9);
+  A.set(70);
+  B.set(70);
+  B.set(9);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  B.set(71);
+  EXPECT_NE(A, B);
+}
+
+TEST(SparseBitVector, RandomizedAgainstStdSet) {
+  std::mt19937 Rng(7);
+  SparseBitVector V;
+  std::set<uint32_t> Model;
+  for (int Step = 0; Step < 2000; ++Step) {
+    uint32_t X = Rng() % 1000;
+    if (Rng() % 3 == 0) {
+      EXPECT_EQ(V.reset(X), Model.erase(X) > 0);
+    } else {
+      EXPECT_EQ(V.set(X), Model.insert(X).second);
+    }
+  }
+  std::vector<uint32_t> Got = V.toVector();
+  std::vector<uint32_t> Want(Model.begin(), Model.end());
+  EXPECT_EQ(Got, Want);
+}
+
+//===--------------------------------------------------------------------===//
+// SCC
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+/// Helper: builds the adjacency callback from an edge list.
+SccResult sccOf(uint32_t N,
+                const std::vector<std::pair<uint32_t, uint32_t>> &Edges) {
+  std::vector<std::vector<uint32_t>> Adj(N);
+  for (auto [F, T] : Edges)
+    Adj[F].push_back(T);
+  return computeSccs(N, [&Adj](uint32_t U,
+                               const std::function<void(uint32_t)> &V) {
+    for (uint32_t S : Adj[U])
+      V(S);
+  });
+}
+
+} // namespace
+
+TEST(Scc, SingleNodes) {
+  SccResult R = sccOf(3, {});
+  EXPECT_EQ(R.numComponents(), 3u);
+  for (uint32_t I = 0; I < 3; ++I)
+    EXPECT_FALSE(R.inNontrivialScc(I));
+}
+
+TEST(Scc, SimpleCycle) {
+  SccResult R = sccOf(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(R.numComponents(), 1u);
+  EXPECT_TRUE(R.inNontrivialScc(0));
+}
+
+TEST(Scc, ReverseTopologicalNumbering) {
+  // 0 -> 1 -> 2 (a chain): callee-first means Component[2] <
+  // Component[1] < Component[0].
+  SccResult R = sccOf(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(R.numComponents(), 3u);
+  EXPECT_LT(R.Component[2], R.Component[1]);
+  EXPECT_LT(R.Component[1], R.Component[0]);
+}
+
+TEST(Scc, TwoCyclesAndBridge) {
+  // {0,1} -> {2,3}; 4 isolated.
+  SccResult R =
+      sccOf(5, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}});
+  EXPECT_EQ(R.numComponents(), 3u);
+  EXPECT_EQ(R.Component[0], R.Component[1]);
+  EXPECT_EQ(R.Component[2], R.Component[3]);
+  EXPECT_NE(R.Component[0], R.Component[2]);
+  // Edge 1 -> 2 means component(1) > component(2).
+  EXPECT_GT(R.Component[1], R.Component[2]);
+}
+
+TEST(Scc, DeepChainDoesNotOverflow) {
+  // 100k-node chain: would blow the stack with a recursive Tarjan.
+  uint32_t N = 100000;
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  for (uint32_t I = 0; I + 1 < N; ++I)
+    Edges.push_back({I, I + 1});
+  SccResult R = sccOf(N, Edges);
+  EXPECT_EQ(R.numComponents(), N);
+}
+
+TEST(Scc, SelfLoopIsItsOwnComponent) {
+  SccResult R = sccOf(2, {{0, 0}, {0, 1}});
+  EXPECT_EQ(R.numComponents(), 2u);
+  // Self-loops do not make the SCC "nontrivial" by member count.
+  EXPECT_FALSE(R.inNontrivialScc(0));
+}
+
+//===--------------------------------------------------------------------===//
+// Worklist
+//===--------------------------------------------------------------------===//
+
+TEST(Worklist, FifoAndDedup) {
+  Worklist W(10);
+  EXPECT_TRUE(W.push(3));
+  EXPECT_TRUE(W.push(5));
+  EXPECT_FALSE(W.push(3)); // Already queued.
+  EXPECT_EQ(W.size(), 2u);
+  EXPECT_EQ(W.pop(), 3u);
+  EXPECT_TRUE(W.push(3)); // Re-queue after pop is fine.
+  EXPECT_EQ(W.pop(), 5u);
+  EXPECT_EQ(W.pop(), 3u);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(Worklist, AutoGrow) {
+  Worklist W;
+  EXPECT_TRUE(W.push(1000));
+  EXPECT_EQ(W.pop(), 1000u);
+}
+
+//===--------------------------------------------------------------------===//
+// ThreadPool
+//===--------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.waitAll();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, WaitAllCanBeCalledRepeatedly) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.waitAll(); // No jobs yet.
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.waitAll();
+  EXPECT_EQ(Count.load(), 1);
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.waitAll();
+  EXPECT_EQ(Count.load(), 2);
+}
+
+//===--------------------------------------------------------------------===//
+// Statistics
+//===--------------------------------------------------------------------===//
+
+TEST(Statistics, AddAndGet) {
+  Statistics S;
+  S.add("x");
+  S.add("x", 4);
+  S.set("y", 7);
+  EXPECT_EQ(S.get("x"), 5u);
+  EXPECT_EQ(S.get("y"), 7u);
+  EXPECT_EQ(S.get("absent"), 0u);
+  S.clear();
+  EXPECT_EQ(S.get("x"), 0u);
+}
+
+TEST(Statistics, SnapshotIsSorted) {
+  Statistics S;
+  S.add("b");
+  S.add("a");
+  auto Snap = S.snapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap[0].first, "a");
+  EXPECT_EQ(Snap[1].first, "b");
+}
+
+//===--------------------------------------------------------------------===//
+// GraphWriter
+//===--------------------------------------------------------------------===//
+
+TEST(GraphWriter, EmitsValidDot) {
+  GraphWriter G("test");
+  G.addNode("n1", "{p, q}");
+  G.addNode("n2", "{a \"quoted\"}");
+  G.addEdge("n1", "n2", "pts");
+  std::string Dot = G.str();
+  EXPECT_NE(Dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(Dot.find("\"n1\" -> \"n2\""), std::string::npos);
+  EXPECT_NE(Dot.find("\\\"quoted\\\""), std::string::npos);
+}

@@ -1,0 +1,253 @@
+//===- tests/test_workload.cpp - Generator + suite + racedetect tests -----===//
+
+#include "analysis/Steensgaard.h"
+#include "core/BootstrapDriver.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "racedetect/RaceDetect.h"
+#include "workload/BenchmarkSuite.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace bsaa;
+using namespace bsaa::workload;
+
+namespace {
+
+std::unique_ptr<ir::Program> compileOk(const std::string &Src) {
+  frontend::Diagnostics Diags;
+  auto P = frontend::compileString(Src, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.toString();
+  return P;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Generator
+//===--------------------------------------------------------------------===//
+
+TEST(Generator, DeterministicBySeed) {
+  GeneratorConfig C;
+  C.Seed = 7;
+  C.NumFunctions = 8;
+  std::string A = generateProgram(C);
+  std::string B = generateProgram(C);
+  EXPECT_EQ(A, B);
+  C.Seed = 8;
+  EXPECT_NE(A, generateProgram(C));
+}
+
+TEST(Generator, OutputCompiles) {
+  GeneratorConfig C;
+  C.Seed = 3;
+  C.NumFunctions = 20;
+  C.Communities = 5;
+  C.LockPointers = 2;
+  C.SharedVariables = 2;
+  C.FunctionPointers = true;
+  C.Structs = true;
+  auto P = compileOk(generateProgram(C));
+  EXPECT_GT(P->numPointers(), 0u);
+  EXPECT_NE(P->entryFunction(), ir::InvalidFunc);
+}
+
+TEST(Generator, CommunityStructureControlsPartitions) {
+  // No cross-community copies: the largest partition stays near the
+  // community size. With aggressive cross copies, partitions fuse.
+  GeneratorConfig Isolated;
+  Isolated.Seed = 11;
+  Isolated.NumFunctions = 30;
+  Isolated.Communities = 10;
+  Isolated.CrossCommunityBasisPoints = 0;
+  Isolated.BigCommunities = 0;
+  auto P1 = compileOk(generateProgram(Isolated));
+  analysis::SteensgaardAnalysis S1(*P1);
+  S1.run();
+  uint32_t Max1 = 0;
+  for (uint32_t Pt = 0; Pt < S1.numPartitions(); ++Pt)
+    Max1 = std::max(Max1, S1.partitionPointerCount(Pt));
+
+  GeneratorConfig Fused = Isolated;
+  Fused.CrossCommunityBasisPoints = 5000; // Half of all copies cross.
+  auto P2 = compileOk(generateProgram(Fused));
+  analysis::SteensgaardAnalysis S2(*P2);
+  S2.run();
+  uint32_t Max2 = 0;
+  for (uint32_t Pt = 0; Pt < S2.numPartitions(); ++Pt)
+    Max2 = std::max(Max2, S2.partitionPointerCount(Pt));
+
+  EXPECT_GT(Max2, Max1);
+}
+
+TEST(Generator, BigCommunityCreatesLargePartition) {
+  GeneratorConfig C;
+  C.Seed = 13;
+  C.NumFunctions = 40;
+  C.Communities = 20;
+  C.BigCommunities = 1;
+  C.BigCommunityFactor = 10;
+  C.CrossCommunityBasisPoints = 0;
+  auto P = compileOk(generateProgram(C));
+  analysis::SteensgaardAnalysis S(*P);
+  S.run();
+  uint32_t Max = 0;
+  for (uint32_t Pt = 0; Pt < S.numPartitions(); ++Pt)
+    Max = std::max(Max, S.partitionPointerCount(Pt));
+  // The big community holds 6*10 globals; its partition should clearly
+  // dominate the small (~8 pointer) communities.
+  EXPECT_GE(Max, 30u);
+}
+
+TEST(Suite, HasAllTwentyRows) {
+  std::vector<SuiteEntry> Suite = table1Suite(0.05);
+  ASSERT_EQ(Suite.size(), 20u);
+  EXPECT_EQ(Suite.front().Name, "sock");
+  EXPECT_EQ(Suite.back().Name, "httpd");
+  // Every scaled-down row compiles.
+  for (const SuiteEntry &E : Suite) {
+    if (E.PaperKloc > 30)
+      continue; // Keep the unit-test fast; big rows run in the bench.
+    auto P = compileOk(generateProgram(E.Config));
+    EXPECT_GT(P->numPointers(), 0u) << E.Name;
+  }
+}
+
+TEST(Suite, EntryLookup) {
+  SuiteEntry E = suiteEntry("autofs", 0.1);
+  EXPECT_EQ(E.Name, "autofs");
+  EXPECT_DOUBLE_EQ(E.PaperKloc, 8.3);
+  EXPECT_EQ(E.PaperPointers, 3258u);
+}
+
+//===--------------------------------------------------------------------===//
+// Race detection (the motivating application)
+//===--------------------------------------------------------------------===//
+
+TEST(RaceDetect, ProtectedAccessIsNotARace) {
+  auto P = compileOk(R"(
+    lock_t l;
+    int shared;
+    void main(void) {
+      lock_t *p; lock_t *q;
+      p = &l;
+      q = p;
+      lock(p);
+      shared = 1;
+      unlock(p);
+      lock(q);
+      shared = 2;
+      unlock(q);
+    }
+  )");
+  racedetect::RaceDetector RD(*P);
+  RD.run();
+  // p and q must-alias l: both critical sections hold the same lock.
+  EXPECT_TRUE(RD.races().empty())
+      << "false race between accesses under the same (aliased) lock";
+}
+
+TEST(RaceDetect, UnprotectedAccessRaces) {
+  auto P = compileOk(R"(
+    lock_t l;
+    int shared;
+    void main(void) {
+      lock_t *p;
+      p = &l;
+      lock(p);
+      shared = 1;
+      unlock(p);
+      shared = 2;
+    }
+  )");
+  racedetect::RaceDetector RD(*P);
+  RD.run();
+  ASSERT_EQ(RD.races().size(), 1u);
+  EXPECT_EQ(P->var(RD.races()[0].SharedVar).Name, "shared");
+}
+
+TEST(RaceDetect, DifferentLocksRace) {
+  auto P = compileOk(R"(
+    lock_t l1; lock_t l2;
+    int shared;
+    void main(void) {
+      lock_t *p; lock_t *q;
+      p = &l1;
+      q = &l2;
+      lock(p);
+      shared = 1;
+      unlock(p);
+      lock(q);
+      shared = 2;
+      unlock(q);
+    }
+  )");
+  racedetect::RaceDetector RD(*P);
+  RD.run();
+  EXPECT_EQ(RD.races().size(), 1u);
+}
+
+TEST(RaceDetect, AmbiguousLockGivesNoProtection) {
+  // q may point to l1 or l2: no must-alias, so the lockset stays empty
+  // and both accesses are reported (the sound direction for bug
+  // finding).
+  auto P = compileOk(R"(
+    lock_t l1; lock_t l2;
+    int shared;
+    void main(void) {
+      lock_t *q;
+      if (nondet) { q = &l1; } else { q = &l2; }
+      lock(q);
+      shared = 1;
+      unlock(q);
+      lock(q);
+      shared = 2;
+      unlock(q);
+    }
+  )");
+  racedetect::RaceDetector RD(*P);
+  RD.run();
+  EXPECT_EQ(RD.races().size(), 1u);
+}
+
+TEST(RaceDetect, LockClustersContainOnlyLockRelatedVars) {
+  // The paper's flexibility claim: lock clusters are comprised solely
+  // of lock pointers (and lock objects).
+  auto P = compileOk(R"(
+    lock_t l;
+    int shared;
+    void main(void) {
+      lock_t *p;
+      int a; int *x;
+      p = &l;
+      x = &a;
+      lock(p);
+      shared = 1;
+      unlock(p);
+    }
+  )");
+  racedetect::RaceDetector RD(*P);
+  RD.run();
+  ASSERT_FALSE(RD.lockClusters().empty());
+  for (const core::Cluster &C : RD.lockClusters())
+    for (ir::VarId V : C.Members)
+      EXPECT_EQ(P->var(V).Base, ir::BaseType::Lock)
+          << P->var(V).Name << " in a lock cluster";
+}
+
+TEST(RaceDetect, GeneratedDriverWorkloadRuns) {
+  GeneratorConfig C;
+  C.Seed = 21;
+  C.NumFunctions = 15;
+  C.Communities = 4;
+  C.LockPointers = 3;
+  C.SharedVariables = 3;
+  auto P = compileOk(generateProgram(C));
+  racedetect::RaceDetector RD(*P);
+  RD.run();
+  EXPECT_FALSE(RD.sharedVariables().empty());
+  EXPECT_FALSE(RD.lockClusters().empty());
+}
