@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cascade.dir/ablation_cascade.cpp.o"
+  "CMakeFiles/ablation_cascade.dir/ablation_cascade.cpp.o.d"
+  "ablation_cascade"
+  "ablation_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

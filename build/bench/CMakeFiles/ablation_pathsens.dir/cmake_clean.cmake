@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pathsens.dir/ablation_pathsens.cpp.o"
+  "CMakeFiles/ablation_pathsens.dir/ablation_pathsens.cpp.o.d"
+  "ablation_pathsens"
+  "ablation_pathsens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pathsens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_relevant_stmts.dir/fig3_relevant_stmts.cpp.o"
+  "CMakeFiles/fig3_relevant_stmts.dir/fig3_relevant_stmts.cpp.o.d"
+  "fig3_relevant_stmts"
+  "fig3_relevant_stmts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_relevant_stmts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_relevant_stmts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_update_sequences.dir/fig4_update_sequences.cpp.o"
+  "CMakeFiles/fig4_update_sequences.dir/fig4_update_sequences.cpp.o.d"
+  "fig4_update_sequences"
+  "fig4_update_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_update_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

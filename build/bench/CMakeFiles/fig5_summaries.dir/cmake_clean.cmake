@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_summaries.dir/fig5_summaries.cpp.o"
+  "CMakeFiles/fig5_summaries.dir/fig5_summaries.cpp.o.d"
+  "fig5_summaries"
+  "fig5_summaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_summaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

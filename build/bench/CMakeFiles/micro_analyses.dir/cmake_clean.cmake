@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_analyses.dir/micro_analyses.cpp.o"
+  "CMakeFiles/micro_analyses.dir/micro_analyses.cpp.o.d"
+  "micro_analyses"
+  "micro_analyses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

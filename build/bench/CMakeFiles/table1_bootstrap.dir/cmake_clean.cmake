@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bootstrap.dir/table1_bootstrap.cpp.o"
+  "CMakeFiles/table1_bootstrap.dir/table1_bootstrap.cpp.o.d"
+  "table1_bootstrap"
+  "table1_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_file.dir/analyze_file.cpp.o"
+  "CMakeFiles/analyze_file.dir/analyze_file.cpp.o.d"
+  "analyze_file"
+  "analyze_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

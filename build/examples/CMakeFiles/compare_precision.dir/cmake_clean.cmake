@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_precision.dir/compare_precision.cpp.o"
+  "CMakeFiles/compare_precision.dir/compare_precision.cpp.o.d"
+  "compare_precision"
+  "compare_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

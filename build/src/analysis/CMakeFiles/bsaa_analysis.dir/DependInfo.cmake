@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Andersen.cpp" "src/analysis/CMakeFiles/bsaa_analysis.dir/Andersen.cpp.o" "gcc" "src/analysis/CMakeFiles/bsaa_analysis.dir/Andersen.cpp.o.d"
+  "/root/repo/src/analysis/FlowSensitiveDataflow.cpp" "src/analysis/CMakeFiles/bsaa_analysis.dir/FlowSensitiveDataflow.cpp.o" "gcc" "src/analysis/CMakeFiles/bsaa_analysis.dir/FlowSensitiveDataflow.cpp.o.d"
+  "/root/repo/src/analysis/OneLevelFlow.cpp" "src/analysis/CMakeFiles/bsaa_analysis.dir/OneLevelFlow.cpp.o" "gcc" "src/analysis/CMakeFiles/bsaa_analysis.dir/OneLevelFlow.cpp.o.d"
+  "/root/repo/src/analysis/Steensgaard.cpp" "src/analysis/CMakeFiles/bsaa_analysis.dir/Steensgaard.cpp.o" "gcc" "src/analysis/CMakeFiles/bsaa_analysis.dir/Steensgaard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/bsaa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bsaa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsaa_analysis.dir/Andersen.cpp.o"
+  "CMakeFiles/bsaa_analysis.dir/Andersen.cpp.o.d"
+  "CMakeFiles/bsaa_analysis.dir/FlowSensitiveDataflow.cpp.o"
+  "CMakeFiles/bsaa_analysis.dir/FlowSensitiveDataflow.cpp.o.d"
+  "CMakeFiles/bsaa_analysis.dir/OneLevelFlow.cpp.o"
+  "CMakeFiles/bsaa_analysis.dir/OneLevelFlow.cpp.o.d"
+  "CMakeFiles/bsaa_analysis.dir/Steensgaard.cpp.o"
+  "CMakeFiles/bsaa_analysis.dir/Steensgaard.cpp.o.d"
+  "libbsaa_analysis.a"
+  "libbsaa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsaa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsaa_bdd.dir/Bdd.cpp.o"
+  "CMakeFiles/bsaa_bdd.dir/Bdd.cpp.o.d"
+  "libbsaa_bdd.a"
+  "libbsaa_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsaa_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsaa_core.dir/AliasCover.cpp.o"
+  "CMakeFiles/bsaa_core.dir/AliasCover.cpp.o.d"
+  "CMakeFiles/bsaa_core.dir/BootstrapDriver.cpp.o"
+  "CMakeFiles/bsaa_core.dir/BootstrapDriver.cpp.o.d"
+  "CMakeFiles/bsaa_core.dir/RelevantStatements.cpp.o"
+  "CMakeFiles/bsaa_core.dir/RelevantStatements.cpp.o.d"
+  "libbsaa_core.a"
+  "libbsaa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsaa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsaa_frontend.dir/Diagnostics.cpp.o"
+  "CMakeFiles/bsaa_frontend.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/bsaa_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/bsaa_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/bsaa_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/bsaa_frontend.dir/Lower.cpp.o.d"
+  "CMakeFiles/bsaa_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/bsaa_frontend.dir/Parser.cpp.o.d"
+  "libbsaa_frontend.a"
+  "libbsaa_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsaa_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fscs/ClusterAliasAnalysis.cpp" "src/fscs/CMakeFiles/bsaa_fscs.dir/ClusterAliasAnalysis.cpp.o" "gcc" "src/fscs/CMakeFiles/bsaa_fscs.dir/ClusterAliasAnalysis.cpp.o.d"
+  "/root/repo/src/fscs/Constraint.cpp" "src/fscs/CMakeFiles/bsaa_fscs.dir/Constraint.cpp.o" "gcc" "src/fscs/CMakeFiles/bsaa_fscs.dir/Constraint.cpp.o.d"
+  "/root/repo/src/fscs/Dovetail.cpp" "src/fscs/CMakeFiles/bsaa_fscs.dir/Dovetail.cpp.o" "gcc" "src/fscs/CMakeFiles/bsaa_fscs.dir/Dovetail.cpp.o.d"
+  "/root/repo/src/fscs/PathSensitivity.cpp" "src/fscs/CMakeFiles/bsaa_fscs.dir/PathSensitivity.cpp.o" "gcc" "src/fscs/CMakeFiles/bsaa_fscs.dir/PathSensitivity.cpp.o.d"
+  "/root/repo/src/fscs/SummaryEngine.cpp" "src/fscs/CMakeFiles/bsaa_fscs.dir/SummaryEngine.cpp.o" "gcc" "src/fscs/CMakeFiles/bsaa_fscs.dir/SummaryEngine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/bsaa_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bsaa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bsaa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bsaa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

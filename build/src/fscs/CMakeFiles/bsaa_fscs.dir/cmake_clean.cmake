@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsaa_fscs.dir/ClusterAliasAnalysis.cpp.o"
+  "CMakeFiles/bsaa_fscs.dir/ClusterAliasAnalysis.cpp.o.d"
+  "CMakeFiles/bsaa_fscs.dir/Constraint.cpp.o"
+  "CMakeFiles/bsaa_fscs.dir/Constraint.cpp.o.d"
+  "CMakeFiles/bsaa_fscs.dir/Dovetail.cpp.o"
+  "CMakeFiles/bsaa_fscs.dir/Dovetail.cpp.o.d"
+  "CMakeFiles/bsaa_fscs.dir/PathSensitivity.cpp.o"
+  "CMakeFiles/bsaa_fscs.dir/PathSensitivity.cpp.o.d"
+  "CMakeFiles/bsaa_fscs.dir/SummaryEngine.cpp.o"
+  "CMakeFiles/bsaa_fscs.dir/SummaryEngine.cpp.o.d"
+  "libbsaa_fscs.a"
+  "libbsaa_fscs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsaa_fscs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsaa_ir.dir/CallGraph.cpp.o"
+  "CMakeFiles/bsaa_ir.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/bsaa_ir.dir/Dumper.cpp.o"
+  "CMakeFiles/bsaa_ir.dir/Dumper.cpp.o.d"
+  "CMakeFiles/bsaa_ir.dir/Program.cpp.o"
+  "CMakeFiles/bsaa_ir.dir/Program.cpp.o.d"
+  "libbsaa_ir.a"
+  "libbsaa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsaa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

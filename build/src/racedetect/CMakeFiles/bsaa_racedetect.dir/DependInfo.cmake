@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/racedetect/RaceDetect.cpp" "src/racedetect/CMakeFiles/bsaa_racedetect.dir/RaceDetect.cpp.o" "gcc" "src/racedetect/CMakeFiles/bsaa_racedetect.dir/RaceDetect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsaa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fscs/CMakeFiles/bsaa_fscs.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bsaa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bsaa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bsaa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/bsaa_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsaa_racedetect.dir/RaceDetect.cpp.o"
+  "CMakeFiles/bsaa_racedetect.dir/RaceDetect.cpp.o.d"
+  "libbsaa_racedetect.a"
+  "libbsaa_racedetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsaa_racedetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

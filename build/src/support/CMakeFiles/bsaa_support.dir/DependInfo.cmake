@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/GraphWriter.cpp" "src/support/CMakeFiles/bsaa_support.dir/GraphWriter.cpp.o" "gcc" "src/support/CMakeFiles/bsaa_support.dir/GraphWriter.cpp.o.d"
+  "/root/repo/src/support/Scc.cpp" "src/support/CMakeFiles/bsaa_support.dir/Scc.cpp.o" "gcc" "src/support/CMakeFiles/bsaa_support.dir/Scc.cpp.o.d"
+  "/root/repo/src/support/SparseBitVector.cpp" "src/support/CMakeFiles/bsaa_support.dir/SparseBitVector.cpp.o" "gcc" "src/support/CMakeFiles/bsaa_support.dir/SparseBitVector.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/support/CMakeFiles/bsaa_support.dir/Statistics.cpp.o" "gcc" "src/support/CMakeFiles/bsaa_support.dir/Statistics.cpp.o.d"
+  "/root/repo/src/support/StringInterner.cpp" "src/support/CMakeFiles/bsaa_support.dir/StringInterner.cpp.o" "gcc" "src/support/CMakeFiles/bsaa_support.dir/StringInterner.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "src/support/CMakeFiles/bsaa_support.dir/ThreadPool.cpp.o" "gcc" "src/support/CMakeFiles/bsaa_support.dir/ThreadPool.cpp.o.d"
+  "/root/repo/src/support/UnionFind.cpp" "src/support/CMakeFiles/bsaa_support.dir/UnionFind.cpp.o" "gcc" "src/support/CMakeFiles/bsaa_support.dir/UnionFind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

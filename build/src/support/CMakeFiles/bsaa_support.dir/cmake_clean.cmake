@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsaa_support.dir/GraphWriter.cpp.o"
+  "CMakeFiles/bsaa_support.dir/GraphWriter.cpp.o.d"
+  "CMakeFiles/bsaa_support.dir/Scc.cpp.o"
+  "CMakeFiles/bsaa_support.dir/Scc.cpp.o.d"
+  "CMakeFiles/bsaa_support.dir/SparseBitVector.cpp.o"
+  "CMakeFiles/bsaa_support.dir/SparseBitVector.cpp.o.d"
+  "CMakeFiles/bsaa_support.dir/Statistics.cpp.o"
+  "CMakeFiles/bsaa_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/bsaa_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/bsaa_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/bsaa_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/bsaa_support.dir/ThreadPool.cpp.o.d"
+  "CMakeFiles/bsaa_support.dir/UnionFind.cpp.o"
+  "CMakeFiles/bsaa_support.dir/UnionFind.cpp.o.d"
+  "libbsaa_support.a"
+  "libbsaa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsaa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsaa_support.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/BenchmarkSuite.cpp" "src/workload/CMakeFiles/bsaa_workload.dir/BenchmarkSuite.cpp.o" "gcc" "src/workload/CMakeFiles/bsaa_workload.dir/BenchmarkSuite.cpp.o.d"
+  "/root/repo/src/workload/ProgramGenerator.cpp" "src/workload/CMakeFiles/bsaa_workload.dir/ProgramGenerator.cpp.o" "gcc" "src/workload/CMakeFiles/bsaa_workload.dir/ProgramGenerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bsaa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsaa_workload.dir/BenchmarkSuite.cpp.o"
+  "CMakeFiles/bsaa_workload.dir/BenchmarkSuite.cpp.o.d"
+  "CMakeFiles/bsaa_workload.dir/ProgramGenerator.cpp.o"
+  "CMakeFiles/bsaa_workload.dir/ProgramGenerator.cpp.o.d"
+  "libbsaa_workload.a"
+  "libbsaa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsaa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/bsaa_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/bsaa_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_bdd.cpp" "tests/CMakeFiles/bsaa_tests.dir/test_bdd.cpp.o" "gcc" "tests/CMakeFiles/bsaa_tests.dir/test_bdd.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/bsaa_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/bsaa_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/bsaa_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/bsaa_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_fscs.cpp" "tests/CMakeFiles/bsaa_tests.dir/test_fscs.cpp.o" "gcc" "tests/CMakeFiles/bsaa_tests.dir/test_fscs.cpp.o.d"
+  "/root/repo/tests/test_pathsens.cpp" "tests/CMakeFiles/bsaa_tests.dir/test_pathsens.cpp.o" "gcc" "tests/CMakeFiles/bsaa_tests.dir/test_pathsens.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/bsaa_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/bsaa_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_reference.cpp" "tests/CMakeFiles/bsaa_tests.dir/test_reference.cpp.o" "gcc" "tests/CMakeFiles/bsaa_tests.dir/test_reference.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/bsaa_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/bsaa_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/bsaa_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/bsaa_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/racedetect/CMakeFiles/bsaa_racedetect.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsaa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bsaa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bsaa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fscs/CMakeFiles/bsaa_fscs.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/bsaa_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/bsaa_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bsaa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bsaa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

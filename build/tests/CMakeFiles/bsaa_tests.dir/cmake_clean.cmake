@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsaa_tests.dir/test_analysis.cpp.o"
+  "CMakeFiles/bsaa_tests.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/bsaa_tests.dir/test_bdd.cpp.o"
+  "CMakeFiles/bsaa_tests.dir/test_bdd.cpp.o.d"
+  "CMakeFiles/bsaa_tests.dir/test_core.cpp.o"
+  "CMakeFiles/bsaa_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/bsaa_tests.dir/test_frontend.cpp.o"
+  "CMakeFiles/bsaa_tests.dir/test_frontend.cpp.o.d"
+  "CMakeFiles/bsaa_tests.dir/test_fscs.cpp.o"
+  "CMakeFiles/bsaa_tests.dir/test_fscs.cpp.o.d"
+  "CMakeFiles/bsaa_tests.dir/test_pathsens.cpp.o"
+  "CMakeFiles/bsaa_tests.dir/test_pathsens.cpp.o.d"
+  "CMakeFiles/bsaa_tests.dir/test_property.cpp.o"
+  "CMakeFiles/bsaa_tests.dir/test_property.cpp.o.d"
+  "CMakeFiles/bsaa_tests.dir/test_reference.cpp.o"
+  "CMakeFiles/bsaa_tests.dir/test_reference.cpp.o.d"
+  "CMakeFiles/bsaa_tests.dir/test_support.cpp.o"
+  "CMakeFiles/bsaa_tests.dir/test_support.cpp.o.d"
+  "CMakeFiles/bsaa_tests.dir/test_workload.cpp.o"
+  "CMakeFiles/bsaa_tests.dir/test_workload.cpp.o.d"
+  "bsaa_tests"
+  "bsaa_tests.pdb"
+  "bsaa_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsaa_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
