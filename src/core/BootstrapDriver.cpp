@@ -7,11 +7,15 @@
 #include "core/AliasCover.h"
 #include "core/RelevantStatements.h"
 #include "fscs/ClusterAliasAnalysis.h"
+#include "support/Statistics.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
 
 using namespace bsaa;
 using namespace bsaa::core;
@@ -49,16 +53,16 @@ std::vector<Cluster> splitByPointsTo(const Cluster &Partition,
       ByObject[O].push_back(V);
   }
   std::vector<Cluster> Out;
-  std::vector<std::vector<VarId>> SeenMembers;
+  // Ordered set: O(log n) membership instead of the O(n) linear scan a
+  // vector would need, which made this O(n^2) in the cluster count.
+  std::set<std::vector<VarId>> SeenMembers;
   for (auto &[Obj, Members] : ByObject) {
     (void)Obj;
     std::sort(Members.begin(), Members.end());
     Members.erase(std::unique(Members.begin(), Members.end()),
                   Members.end());
-    if (std::find(SeenMembers.begin(), SeenMembers.end(), Members) !=
-        SeenMembers.end())
+    if (!SeenMembers.insert(Members).second)
       continue;
-    SeenMembers.push_back(Members);
     Cluster C;
     C.Members = Members;
     C.SourcePartition = Partition.SourcePartition;
@@ -145,10 +149,25 @@ std::vector<Cluster> BootstrapDriver::buildCover() {
   return Cover;
 }
 
+namespace {
+
+/// The LPT dispatch key: how expensive this cluster's FSCS run is
+/// likely to be. Pointer count times slice size tracks the dominant
+/// cost terms (queries issued x statements each traversal may visit).
+uint64_t clusterCostKey(const ir::Program &P, const Cluster &C) {
+  uint64_t Pointers = C.pointerCount(P);
+  uint64_t Slice = std::max<uint64_t>(1, C.Statements.size());
+  return std::max<uint64_t>(1, Pointers) * Slice;
+}
+
+} // namespace
+
 ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
   assert(Steens && "run steensgaard() before analyzing clusters");
   ClusterRunResult R;
   R.PointerCount = C.pointerCount(Prog);
+  R.SliceSize = static_cast<uint32_t>(C.Statements.size());
+  R.CostKey = clusterCostKey(Prog, C);
   Timer T;
   fscs::ClusterAliasAnalysis AA(Prog, CG, *Steens, C, Opts.EngineOpts);
   AA.prepare();
@@ -167,9 +186,17 @@ ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
       break;
   }
   R.Seconds = T.seconds();
-  R.Steps = AA.engine().stepsUsed();
-  R.SummaryTuples = AA.engine().numSummaryTuples();
-  R.BudgetHit = AA.engine().budgetExhausted();
+  fscs::SummaryEngine::EngineStats ES = AA.engine().stats();
+  R.Steps = ES.Steps;
+  R.SummaryTuples = ES.SummaryTuples;
+  R.SummaryKeys = ES.Keys;
+  R.BudgetHit = ES.BudgetHit;
+  R.Approximated = ES.Approximated;
+  R.DepthLevels = AA.dovetailStats().DepthLevels;
+  R.FsciQueries = AA.dovetailStats().FsciQueries;
+  R.DovetailComplete = AA.dovetailStats().Complete;
+  // Per-thread shards make this contention-free from worker threads.
+  AA.engine().accumulateGlobalStats(Statistics::global());
   return R;
 }
 
@@ -194,17 +221,35 @@ BootstrapResult BootstrapDriver::runAll() {
   Result.Clusters.resize(Cover.size());
   if (Opts.Threads > 1) {
     // Clusters are analyzed independently of one another: the paper's
-    // parallelization claim, realized with a real thread pool.
+    // parallelization claim, realized with a real thread pool. Jobs are
+    // dispatched longest-processing-time first so a large cluster never
+    // starts last and serializes the tail; each job writes its result
+    // by discovery index, keeping Clusters ordering identical to the
+    // sequential run.
+    std::vector<size_t> Order(Cover.size());
+    std::iota(Order.begin(), Order.end(), size_t(0));
+    std::vector<uint64_t> Cost(Cover.size());
+    for (size_t I = 0; I < Cover.size(); ++I)
+      Cost[I] = clusterCostKey(Prog, Cover[I]);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&Cost](size_t A, size_t B) { return Cost[A] > Cost[B]; });
+
     ThreadPool Pool(Opts.Threads);
-    for (size_t I = 0; I < Cover.size(); ++I) {
+    for (size_t I : Order) {
       Pool.submit([this, &Cover, &Result, I] {
+        if (Opts.ClusterHook)
+          Opts.ClusterHook(Cover[I]);
         Result.Clusters[I] = analyzeCluster(Cover[I]);
       });
     }
+    // Rethrows the first cluster-job exception after the batch drains.
     Pool.waitAll();
   } else {
-    for (size_t I = 0; I < Cover.size(); ++I)
+    for (size_t I = 0; I < Cover.size(); ++I) {
+      if (Opts.ClusterHook)
+        Opts.ClusterHook(Cover[I]);
       Result.Clusters[I] = analyzeCluster(Cover[I]);
+    }
   }
 
   for (const ClusterRunResult &R : Result.Clusters) {
@@ -221,26 +266,67 @@ BootstrapDriver::simulateParallel(const std::vector<ClusterRunResult> &Rs,
                                   uint32_t Parts) {
   if (Rs.empty() || Parts == 0)
     return 0;
-  // The paper's greedy heuristic: total pointer count divided by the
-  // part count gives a target size; clusters are accumulated in order
-  // until the running pointer sum exceeds the target, at which point
-  // the accumulated clusters close one part.
-  uint64_t TotalPointers = 0;
-  for (const ClusterRunResult &R : Rs)
-    TotalPointers += R.PointerCount;
-  uint64_t Target = std::max<uint64_t>(1, TotalPointers / Parts);
+  // The paper's greedy packing, done properly as LPT bin assignment
+  // into exactly Parts fixed bins: sort clusters by descending pointer
+  // count and put each into the currently least-loaded part. (The old
+  // running-sum-threshold scheme could close more than Parts parts on
+  // a ragged tail, under-reporting the max part time below the
+  // total/Parts lower bound.)
+  std::vector<size_t> Order(Rs.size());
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  std::stable_sort(Order.begin(), Order.end(), [&Rs](size_t A, size_t B) {
+    return Rs[A].PointerCount > Rs[B].PointerCount;
+  });
 
-  double MaxPart = 0, PartSeconds = 0;
-  uint64_t PartPointers = 0;
-  for (const ClusterRunResult &R : Rs) {
-    PartSeconds += R.Seconds;
-    PartPointers += R.PointerCount;
-    if (PartPointers >= Target) {
-      MaxPart = std::max(MaxPart, PartSeconds);
-      PartSeconds = 0;
-      PartPointers = 0;
-    }
+  // More parts than clusters degenerates to one cluster per part; cap
+  // the bin count so a huge Parts value does not allocate pointlessly.
+  size_t Bins = std::min<size_t>(Parts, Rs.size());
+  std::vector<uint64_t> PartPointers(Bins, 0);
+  std::vector<double> PartSeconds(Bins, 0);
+  for (size_t I : Order) {
+    size_t Least = 0;
+    for (size_t P = 1; P < PartPointers.size(); ++P)
+      if (PartPointers[P] < PartPointers[Least])
+        Least = P;
+    PartPointers[Least] += Rs[I].PointerCount;
+    PartSeconds[Least] += Rs[I].Seconds;
   }
-  MaxPart = std::max(MaxPart, PartSeconds);
-  return MaxPart;
+  return *std::max_element(PartSeconds.begin(), PartSeconds.end());
+}
+
+std::string core::toStatsJson(const BootstrapResult &R) {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"steensgaard_seconds\": " << R.SteensgaardSeconds << ",\n";
+  OS << "  \"andersen_clustering_seconds\": " << R.AndersenClusteringSeconds
+     << ",\n";
+  OS << "  \"oneflow_seconds\": " << R.OneFlowSeconds << ",\n";
+  OS << "  \"num_clusters\": " << R.NumClusters << ",\n";
+  OS << "  \"max_cluster_size\": " << R.MaxClusterSize << ",\n";
+  OS << "  \"total_fscs_seconds\": " << R.TotalFscsSeconds << ",\n";
+  OS << "  \"simulated_parallel_seconds\": " << R.SimulatedParallelSeconds
+     << ",\n";
+  OS << "  \"any_budget_hit\": " << (R.AnyBudgetHit ? "true" : "false")
+     << ",\n";
+  OS << "  \"clusters\": [\n";
+  for (size_t I = 0; I < R.Clusters.size(); ++I) {
+    const ClusterRunResult &C = R.Clusters[I];
+    OS << "    {\"pointers\": " << C.PointerCount
+       << ", \"slice_size\": " << C.SliceSize
+       << ", \"cost_key\": " << C.CostKey
+       << ", \"seconds\": " << C.Seconds
+       << ", \"steps\": " << C.Steps
+       << ", \"summary_tuples\": " << C.SummaryTuples
+       << ", \"summary_keys\": " << C.SummaryKeys
+       << ", \"depth_levels\": " << C.DepthLevels
+       << ", \"fsci_queries\": " << C.FsciQueries
+       << ", \"dovetail_complete\": " << (C.DovetailComplete ? "true" : "false")
+       << ", \"budget_hit\": " << (C.BudgetHit ? "true" : "false")
+       << ", \"approximated\": " << (C.Approximated ? "true" : "false")
+       << "}" << (I + 1 < R.Clusters.size() ? "," : "") << "\n";
+  }
+  OS << "  ],\n";
+  OS << "  \"statistics\": " << Statistics::global().toJson() << "\n";
+  OS << "}\n";
+  return OS.str();
 }

@@ -31,7 +31,9 @@
 #include "fscs/SummaryEngine.h"
 #include "ir/CallGraph.h"
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace bsaa {
@@ -59,15 +61,28 @@ struct BootstrapOptions {
   /// Per-cluster FSCS engine options (step budget models the paper's
   /// 15-minute timeout).
   fscs::SummaryEngine::Options EngineOpts;
+
+  /// Instrumentation hook run at the start of every cluster job (on the
+  /// worker thread in threaded runs). Used for progress reporting and,
+  /// in tests, for fault injection: an exception it throws surfaces
+  /// from runAll() like any other cluster-job failure.
+  std::function<void(const Cluster &)> ClusterHook;
 };
 
 /// Per-cluster FSCS outcome.
 struct ClusterRunResult {
   uint32_t PointerCount = 0;
-  double Seconds = 0;
+  uint32_t SliceSize = 0;  ///< Statements in the cluster's St_P slice.
+  uint64_t CostKey = 0;    ///< LPT scheduling key: pointers x slice size.
+  double Seconds = 0;      ///< Wall-clock of the cluster's FSCS run.
   uint64_t Steps = 0;
   uint64_t SummaryTuples = 0;
+  uint64_t SummaryKeys = 0;
+  uint32_t DepthLevels = 0; ///< Dovetail depth levels fully issued.
+  uint32_t FsciQueries = 0; ///< Dovetail FSCI queries issued.
+  bool DovetailComplete = true;
   bool BudgetHit = false;
+  bool Approximated = false;
 };
 
 /// Whole-pipeline outcome: the raw material of a Table 1 row.
@@ -104,15 +119,23 @@ public:
   /// afterwards.
   ClusterRunResult analyzeCluster(const Cluster &C) const;
 
-  /// The whole pipeline.
+  /// The whole pipeline. With Threads > 1 the cluster jobs are
+  /// dispatched to the pool in longest-processing-time (LPT) order --
+  /// largest CostKey (pointer count x slice size) first -- which keeps
+  /// the big clusters from landing last and serializing the tail.
+  /// Results are written back by discovery index, so Clusters ordering
+  /// is identical to the sequential run. If a cluster job throws, the
+  /// remaining jobs drain and the first exception is rethrown here.
   BootstrapResult runAll();
 
   /// The "no clustering" baseline: one whole-program cluster.
   ClusterRunResult runUnclustered();
 
   /// The paper's greedy parallel simulation: clusters are packed into
-  /// \p Parts parts by pointer count; returns the maximum per-part
-  /// total analysis time.
+  /// exactly \p Parts parts -- never more -- by longest-processing-time
+  /// greedy packing on pointer count (sort descending, assign each
+  /// cluster to the currently least-loaded part); returns the maximum
+  /// per-part total analysis time.
   static double simulateParallel(const std::vector<ClusterRunResult> &Rs,
                                  uint32_t Parts);
 
@@ -129,6 +152,13 @@ private:
   double AndersenSeconds = 0;
   double OneFlowSecs = 0;
 };
+
+/// Renders \p R as a JSON document: pipeline timings, per-cluster
+/// metrics (pointer count, slice size, LPT cost key, wall-clock, steps,
+/// summary tuples/keys, dovetail accounting, budget/approximation
+/// flags), and the merged global Statistics registry. This is what
+/// --stats-json dumps in the bench harnesses.
+std::string toStatsJson(const BootstrapResult &R);
 
 } // namespace core
 } // namespace bsaa

@@ -38,7 +38,7 @@ void ClusterAliasAnalysis::prepare() {
   if (Prepared)
     return;
   Prepared = true;
-  dovetail(*Engine, Prog, Steens, Clu);
+  DoveStats = dovetail(*Engine, Prog, Steens, Clu);
 }
 
 void ClusterAliasAnalysis::ensurePrepared() { prepare(); }

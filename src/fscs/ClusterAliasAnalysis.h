@@ -26,6 +26,7 @@
 #define BSAA_FSCS_CLUSTERALIASANALYSIS_H
 
 #include "core/Cluster.h"
+#include "fscs/Dovetail.h"
 #include "fscs/SummaryEngine.h"
 #include "ir/CallGraph.h"
 
@@ -95,6 +96,9 @@ public:
   SummaryEngine &engine() { return *Engine; }
   const SummaryEngine &engine() const { return *Engine; }
 
+  /// Accounting of the dovetail warmup (all zeros before prepare()).
+  const DovetailStats &dovetailStats() const { return DoveStats; }
+
   const core::Cluster &cluster() const { return Clu; }
 
 private:
@@ -105,6 +109,7 @@ private:
   const analysis::SteensgaardAnalysis &Steens;
   const core::Cluster &Clu;
   std::unique_ptr<SummaryEngine> Engine;
+  DovetailStats DoveStats;
   bool Prepared = false;
 };
 

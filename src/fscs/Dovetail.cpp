@@ -31,16 +31,25 @@ DovetailStats fscs::dovetail(SummaryEngine &Engine, const Program &P,
     ByDepth[Steens.depthOf(Base)].emplace_back(Base, L);
   }
 
+  // See the invariant on DovetailStats: count a query only when issued,
+  // count a level only when all of its queries were issued, and report
+  // Complete only when on top of that no query was cut short.
   DovetailStats Stats;
   for (auto &[Depth, Uses] : ByDepth) {
     (void)Depth;
-    ++Stats.DepthLevels;
     for (auto [Var, Loc] : Uses) {
+      if (Engine.budgetExhausted()) {
+        Stats.Complete = false;
+        return Stats;
+      }
       Engine.fsciPointsTo(Var, Loc);
       ++Stats.FsciQueries;
-      if (Engine.budgetExhausted())
-        return Stats;
     }
+    ++Stats.DepthLevels;
   }
+  // The last issued query may itself have hit the budget: its FSCI set
+  // is partial even though it was issued.
+  if (Engine.budgetExhausted())
+    Stats.Complete = false;
   return Stats;
 }

@@ -38,9 +38,18 @@ namespace fscs {
 class SummaryEngine;
 
 /// Statistics from a dovetail pass.
+///
+/// Accounting invariant (holds even when the engine's step budget runs
+/// out mid-pass): FsciQueries counts exactly the fsciPointsTo() calls
+/// that were issued; DepthLevels counts exactly the depth levels whose
+/// every (pointer, location) pair was issued; Complete is true iff every
+/// level was fully issued *and* no query was truncated by the budget.
+/// A partially-processed level is therefore never counted, and queries
+/// that were never issued are never counted.
 struct DovetailStats {
-  uint32_t DepthLevels = 0;   ///< Distinct Steensgaard depths processed.
-  uint32_t FsciQueries = 0;   ///< (pointer, location) sets computed.
+  uint32_t DepthLevels = 0;   ///< Depth levels fully issued.
+  uint32_t FsciQueries = 0;   ///< fsciPointsTo() calls issued.
+  bool Complete = true;       ///< No level skipped, no query truncated.
 };
 
 /// Warms \p Engine's FSCI memo for every dereference base appearing in

@@ -663,3 +663,25 @@ uint64_t SummaryEngine::numSummaryTuples() const {
     N += KS.Results.size();
   return N;
 }
+
+SummaryEngine::EngineStats SummaryEngine::stats() const {
+  EngineStats S;
+  S.Steps = Steps;
+  S.SummaryTuples = numSummaryTuples();
+  S.Keys = Keys.size();
+  S.BudgetHit = BudgetHit;
+  S.Approximated = Approximated;
+  return S;
+}
+
+void SummaryEngine::accumulateGlobalStats(Statistics &Global) const {
+  EngineStats S = stats();
+  Global.add("fscs.steps", S.Steps);
+  Global.add("fscs.summary-tuples", S.SummaryTuples);
+  Global.add("fscs.keys", S.Keys);
+  Global.add("fscs.engines", 1);
+  if (S.BudgetHit)
+    Global.add("fscs.budget-hits", 1);
+  if (S.Approximated)
+    Global.add("fscs.approximations", 1);
+}

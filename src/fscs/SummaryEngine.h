@@ -48,6 +48,7 @@
 #include "ir/CallGraph.h"
 #include "ir/Ir.h"
 #include "support/SparseBitVector.h"
+#include "support/Statistics.h"
 
 #include <deque>
 #include <map>
@@ -129,6 +130,22 @@ public:
   uint64_t stepsUsed() const { return Steps; }
   uint64_t numSummaryTuples() const;
   uint64_t numKeys() const { return Keys.size(); }
+
+  /// Aggregate accounting of one engine's whole lifetime, cheap enough
+  /// to sample once per cluster run.
+  struct EngineStats {
+    uint64_t Steps = 0;
+    uint64_t SummaryTuples = 0;
+    uint64_t Keys = 0;
+    bool BudgetHit = false;
+    bool Approximated = false;
+  };
+  EngineStats stats() const;
+
+  /// Folds this engine's aggregate accounting into \p Global under the
+  /// "fscs." prefix. Called once per cluster job (not per step), so the
+  /// parallel driver exercises only the sharded add() path.
+  void accumulateGlobalStats(Statistics &Global) const;
 
 private:
   //===--------------------------------------------------------------===//

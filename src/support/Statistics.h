@@ -10,6 +10,13 @@
 /// worklist iterations, ...) and tools dump them at exit for ablation
 /// benches and debugging.
 ///
+/// The registry is sharded per thread: add() lands in a thread-local
+/// shard whose mutex is only ever contended by the rare cross-shard
+/// readers (snapshot/get/set/clear), so parallel cluster workers bumping
+/// counters never serialize on a global map mutex. snapshot() merges the
+/// shards; shards of exited threads stay owned by the registry, so no
+/// counts are lost.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BSAA_SUPPORT_STATISTICS_H
@@ -17,6 +24,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -26,30 +34,56 @@ namespace bsaa {
 /// Thread-safe registry of named uint64 counters.
 class Statistics {
 public:
+  Statistics();
+  ~Statistics();
+
+  Statistics(const Statistics &) = delete;
+  Statistics &operator=(const Statistics &) = delete;
+
   /// The process-wide registry.
   static Statistics &global();
 
-  /// Adds \p Delta to counter \p Name (creating it at zero).
+  /// Adds \p Delta to counter \p Name (creating it at zero). Lands in
+  /// the calling thread's shard: concurrent adders do not contend.
   void add(const std::string &Name, uint64_t Delta = 1);
 
-  /// Sets counter \p Name to \p Value.
+  /// Sets counter \p Name to \p Value (overriding all shard
+  /// contributions). Cross-shard and therefore slow; intended for
+  /// one-shot gauges, not hot paths.
   void set(const std::string &Name, uint64_t Value);
 
-  /// Current value of \p Name (0 if never touched).
+  /// Current merged value of \p Name (0 if never touched).
   uint64_t get(const std::string &Name) const;
 
   /// Resets every counter to zero.
   void clear();
 
-  /// Snapshot of all counters in name order.
+  /// Merged snapshot of all counters in name order.
   std::vector<std::pair<std::string, uint64_t>> snapshot() const;
 
   /// Renders "name = value" lines.
   std::string toString() const;
 
+  /// Renders the snapshot as a JSON object {"name": value, ...}.
+  std::string toJson() const;
+
 private:
-  mutable std::mutex Mutex;
-  std::map<std::string, uint64_t> Counters;
+  /// One thread's private counter map. The mutex is per shard: the
+  /// owning thread takes it uncontended except while a reader merges.
+  struct Shard {
+    std::mutex M;
+    std::map<std::string, uint64_t> Counters;
+  };
+
+  /// The calling thread's shard of this registry (registered on first
+  /// use; owned by the registry so it outlives the thread).
+  Shard &myShard();
+
+  const uint64_t InstanceId; ///< Key for the thread-local shard cache.
+  mutable std::mutex RegistryMutex; ///< Guards Shards and Base.
+  std::vector<std::unique_ptr<Shard>> Shards;
+  /// set() targets: absolute values layered under the shard deltas.
+  std::map<std::string, uint64_t> Base;
 };
 
 } // namespace bsaa

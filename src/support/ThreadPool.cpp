@@ -15,28 +15,44 @@ ThreadPool::ThreadPool(unsigned NumThreads) {
     Workers.emplace_back([this] { workerLoop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::unique_lock<std::mutex> Lock(Mutex);
+    if (ShuttingDown)
+      return;
     ShuttingDown = true;
   }
   JobAvailable.notify_all();
   for (std::thread &W : Workers)
-    W.join();
+    if (W.joinable())
+      W.join();
+  // An exception captured after the last waitAll() has nowhere to go.
+  std::unique_lock<std::mutex> Lock(Mutex);
+  FirstError = nullptr;
 }
 
-void ThreadPool::submit(std::function<void()> Job) {
+bool ThreadPool::submit(std::function<void()> Job) {
   {
     std::unique_lock<std::mutex> Lock(Mutex);
+    if (ShuttingDown)
+      return false;
     Jobs.push_back(std::move(Job));
     ++Pending;
   }
   JobAvailable.notify_one();
+  return true;
 }
 
 void ThreadPool::waitAll() {
   std::unique_lock<std::mutex> Lock(Mutex);
   AllDone.wait(Lock, [this] { return Pending == 0; });
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr; // The pool stays usable for the next batch.
+    std::rethrow_exception(E);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -53,9 +69,16 @@ void ThreadPool::workerLoop() {
       Job = std::move(Jobs.front());
       Jobs.pop_front();
     }
-    Job();
+    std::exception_ptr Error;
+    try {
+      Job();
+    } catch (...) {
+      Error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> Lock(Mutex);
+      if (Error && !FirstError)
+        FirstError = Error; // First error wins; later ones are dropped.
       --Pending;
       if (Pending == 0)
         AllDone.notify_all();

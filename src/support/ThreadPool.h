@@ -10,6 +10,12 @@
 /// parallelization claim), so the scheduler only needs fire-and-wait
 /// batch semantics: submit N cluster jobs, wait for all of them.
 ///
+/// Exception safety: a job that throws does not take the process down.
+/// The first exception thrown by any job of a batch is captured and
+/// rethrown from the next waitAll() call (first-error-wins); the
+/// remaining queued jobs still drain, so waitAll() always returns (or
+/// throws) with the pool quiescent and reusable.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BSAA_SUPPORT_THREADPOOL_H
@@ -18,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,17 +38,27 @@ public:
   /// Spawns \p NumThreads workers (0 means hardware concurrency, min 1).
   explicit ThreadPool(unsigned NumThreads = 0);
 
-  /// Waits for all pending work, then joins the workers.
+  /// Drains all pending work, then joins the workers (see shutdown()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  /// Enqueues \p Job for execution on some worker.
-  void submit(std::function<void()> Job);
+  /// Enqueues \p Job for execution on some worker. Returns false (and
+  /// does not enqueue) once shutdown() has begun: a job submitted after
+  /// that point would never run, so silently accepting it is a bug.
+  bool submit(std::function<void()> Job);
 
-  /// Blocks until every submitted job has finished.
+  /// Blocks until every submitted job has finished. If any job of the
+  /// batch threw, rethrows the first captured exception (clearing it, so
+  /// the pool stays usable for the next batch).
   void waitAll();
+
+  /// Drains the queue, joins all workers, and rejects any further
+  /// submit(). Idempotent; called by the destructor. Exceptions captured
+  /// from jobs but never observed via waitAll() are dropped here (the
+  /// destructor must not throw).
+  void shutdown();
 
   unsigned numThreads() const {
     return static_cast<unsigned>(Workers.size());
@@ -57,6 +74,7 @@ private:
   std::condition_variable AllDone;
   unsigned Pending = 0; ///< Queued + running jobs.
   bool ShuttingDown = false;
+  std::exception_ptr FirstError; ///< First job exception of the batch.
 };
 
 } // namespace bsaa

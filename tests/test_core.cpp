@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 
 using namespace bsaa;
 using namespace bsaa::core;
@@ -234,9 +235,76 @@ TEST(BootstrapDriver, ThreadedRunMatchesSequential) {
 
   EXPECT_EQ(R1.NumClusters, R2.NumClusters);
   EXPECT_EQ(R1.MaxClusterSize, R2.MaxClusterSize);
-  // Same pointer counts cluster by cluster (order is preserved).
-  for (size_t I = 0; I < R1.Clusters.size(); ++I)
-    EXPECT_EQ(R1.Clusters[I].PointerCount, R2.Clusters[I].PointerCount);
+  // Identical cluster ordering and identical per-cluster work, field by
+  // field (everything except wall-clock): LPT dispatch reorders only
+  // the execution, never the results.
+  ASSERT_EQ(R1.Clusters.size(), R2.Clusters.size());
+  for (size_t I = 0; I < R1.Clusters.size(); ++I) {
+    const ClusterRunResult &A = R1.Clusters[I];
+    const ClusterRunResult &B = R2.Clusters[I];
+    EXPECT_EQ(A.PointerCount, B.PointerCount) << "cluster " << I;
+    EXPECT_EQ(A.SliceSize, B.SliceSize) << "cluster " << I;
+    EXPECT_EQ(A.CostKey, B.CostKey) << "cluster " << I;
+    EXPECT_EQ(A.Steps, B.Steps) << "cluster " << I;
+    EXPECT_EQ(A.SummaryTuples, B.SummaryTuples) << "cluster " << I;
+    EXPECT_EQ(A.SummaryKeys, B.SummaryKeys) << "cluster " << I;
+    EXPECT_EQ(A.DepthLevels, B.DepthLevels) << "cluster " << I;
+    EXPECT_EQ(A.FsciQueries, B.FsciQueries) << "cluster " << I;
+    EXPECT_EQ(A.DovetailComplete, B.DovetailComplete) << "cluster " << I;
+    EXPECT_EQ(A.BudgetHit, B.BudgetHit) << "cluster " << I;
+    EXPECT_EQ(A.Approximated, B.Approximated) << "cluster " << I;
+  }
+}
+
+TEST(BootstrapDriver, ThrowingClusterJobSurfacesFromRunAll) {
+  // A cluster job that throws must not std::terminate the process: the
+  // pool drains the batch and runAll() rethrows the first exception.
+  auto P = compileOk(CoverProgram);
+  BootstrapOptions Opts;
+  Opts.AndersenThreshold = 1; // Several clusters.
+  Opts.Threads = 4;
+  Opts.ClusterHook = [](const Cluster &) {
+    throw std::runtime_error("injected cluster failure");
+  };
+  BootstrapDriver Driver(*P, Opts);
+  EXPECT_THROW(Driver.runAll(), std::runtime_error);
+
+  // The driver stays usable: a clean run afterwards succeeds.
+  BootstrapOptions Clean;
+  Clean.AndersenThreshold = 1;
+  Clean.Threads = 4;
+  BootstrapDriver Driver2(*P, Clean);
+  BootstrapResult R = Driver2.runAll();
+  EXPECT_GT(R.NumClusters, 0u);
+}
+
+TEST(BootstrapDriver, ThrowingClusterHookAlsoSurfacesSequentially) {
+  auto P = compileOk(CoverProgram);
+  BootstrapOptions Opts;
+  Opts.AndersenThreshold = 1;
+  Opts.Threads = 0; // Sequential path.
+  Opts.ClusterHook = [](const Cluster &) {
+    throw std::runtime_error("injected cluster failure");
+  };
+  BootstrapDriver Driver(*P, Opts);
+  EXPECT_THROW(Driver.runAll(), std::runtime_error);
+}
+
+TEST(BootstrapDriver, StatsJsonReportsEveryCluster) {
+  auto P = compileOk(CoverProgram);
+  BootstrapOptions Opts;
+  BootstrapDriver Driver(*P, Opts);
+  BootstrapResult R = Driver.runAll();
+  std::string Json = toStatsJson(R);
+  EXPECT_NE(Json.find("\"num_clusters\": "), std::string::npos);
+  EXPECT_NE(Json.find("\"cost_key\""), std::string::npos);
+  EXPECT_NE(Json.find("\"statistics\""), std::string::npos);
+  // One JSON object per cluster.
+  size_t Count = 0;
+  for (size_t Pos = Json.find("\"pointers\""); Pos != std::string::npos;
+       Pos = Json.find("\"pointers\"", Pos + 1))
+    ++Count;
+  EXPECT_EQ(Count, R.Clusters.size());
 }
 
 TEST(BootstrapDriver, SimulateParallelGreedyPacking) {
@@ -252,4 +320,36 @@ TEST(BootstrapDriver, SimulateParallelGreedyPacking) {
   // More parts than clusters: max is one cluster.
   EXPECT_NEAR(BootstrapDriver::simulateParallel(Rs, 10), 1.0, 1e-9);
   EXPECT_EQ(BootstrapDriver::simulateParallel({}, 5), 0.0);
+}
+
+TEST(BootstrapDriver, SimulateParallelNeverExceedsPartsParts) {
+  // Regression: the old running-sum packing closed a part whenever the
+  // accumulated pointer count crossed total/Parts, so a ragged tail
+  // produced MORE than Parts parts and under-reported the max part
+  // time. With clusters (5 ptr, 5s), (5 ptr, 5s), (1 ptr, 1s) and
+  // Parts = 2 it reported 5s -- below the 11s/2 = 5.5s lower bound
+  // that any true 2-way packing must respect.
+  std::vector<ClusterRunResult> Rs(3);
+  Rs[0].PointerCount = 5;
+  Rs[0].Seconds = 5.0;
+  Rs[1].PointerCount = 5;
+  Rs[1].Seconds = 5.0;
+  Rs[2].PointerCount = 1;
+  Rs[2].Seconds = 1.0;
+  double T = BootstrapDriver::simulateParallel(Rs, 2);
+  EXPECT_GE(T, 11.0 / 2 - 1e-9); // Achievable only with <= 2 parts.
+  // LPT packing: {5, 1} and {5} -> max part 6s.
+  EXPECT_NEAR(T, 6.0, 1e-9);
+}
+
+TEST(BootstrapDriver, SimulateParallelPacksLargestFirst) {
+  // LPT: descending sizes into least-loaded parts. Sizes 4,3,3,2 into
+  // 2 parts -> {4, 2} and {3, 3}: max part = 6s (seconds == pointers).
+  std::vector<ClusterRunResult> Rs(4);
+  uint32_t Sizes[] = {3, 4, 2, 3}; // Unsorted on purpose.
+  for (size_t I = 0; I < 4; ++I) {
+    Rs[I].PointerCount = Sizes[I];
+    Rs[I].Seconds = Sizes[I];
+  }
+  EXPECT_NEAR(BootstrapDriver::simulateParallel(Rs, 2), 6.0, 1e-9);
 }

@@ -1,0 +1,198 @@
+//===- tests/test_threadpool.cpp - ThreadPool + sharded Statistics --------===//
+//
+// Exception propagation, shutdown semantics, and race-freedom of the
+// parallel execution layer. Run under -fsanitize=thread (configure with
+// -DBSAA_TSAN=ON) to check the concurrency claims for real.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+using namespace bsaa;
+
+namespace {
+
+//===--------------------------------------------------------------------===//
+// Exception safety
+//===--------------------------------------------------------------------===//
+
+TEST(ThreadPoolExceptions, ThrowingJobRethrownFromWaitAll) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Pool.waitAll(), std::runtime_error);
+}
+
+TEST(ThreadPoolExceptions, RemainingJobsDrainPastAThrowingJob) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 50; ++I)
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+  Pool.submit([] { throw std::runtime_error("mid-batch"); });
+  for (int I = 0; I < 50; ++I)
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+  EXPECT_THROW(Pool.waitAll(), std::runtime_error);
+  // waitAll returned only once the whole batch drained.
+  EXPECT_EQ(Ran.load(), 100);
+}
+
+TEST(ThreadPoolExceptions, ErrorIsClearedSoThePoolStaysUsable) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(Pool.waitAll(), std::runtime_error);
+  // The next batch starts clean.
+  std::atomic<int> Ran{0};
+  Pool.submit([&Ran] { Ran.fetch_add(1); });
+  EXPECT_NO_THROW(Pool.waitAll());
+  EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(ThreadPoolExceptions, ManyThrowingJobsStillDrainAndThrowOnce) {
+  ThreadPool Pool(4);
+  for (int I = 0; I < 20; ++I)
+    Pool.submit([] { throw std::logic_error("each job throws"); });
+  EXPECT_THROW(Pool.waitAll(), std::logic_error);
+  EXPECT_NO_THROW(Pool.waitAll()); // First error wins; rest are dropped.
+}
+
+//===--------------------------------------------------------------------===//
+// waitAll / reuse semantics
+//===--------------------------------------------------------------------===//
+
+TEST(ThreadPoolWait, WaitAllWithZeroJobsReturnsImmediately) {
+  ThreadPool Pool(3);
+  Pool.waitAll();
+  Pool.waitAll();
+}
+
+TEST(ThreadPoolWait, ReuseAfterWaitAll) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int Batch = 0; Batch < 3; ++Batch) {
+    for (int I = 0; I < 10; ++I)
+      Pool.submit([&Ran] { Ran.fetch_add(1); });
+    Pool.waitAll();
+    EXPECT_EQ(Ran.load(), (Batch + 1) * 10);
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Shutdown semantics
+//===--------------------------------------------------------------------===//
+
+TEST(ThreadPoolShutdown, DestructorDrainsQueuedJobs) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 64; ++I)
+      Pool.submit([&Ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        Ran.fetch_add(1);
+      });
+    // No waitAll: the destructor must drain everything.
+  }
+  EXPECT_EQ(Ran.load(), 64);
+}
+
+TEST(ThreadPoolShutdown, SubmitAfterShutdownIsRejected) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  EXPECT_TRUE(Pool.submit([&Ran] { Ran.fetch_add(1); }));
+  Pool.shutdown();
+  EXPECT_EQ(Ran.load(), 1); // shutdown() drained the queue.
+  // A job no worker would ever run must be rejected, not enqueued.
+  EXPECT_FALSE(Pool.submit([&Ran] { Ran.fetch_add(1); }));
+  EXPECT_EQ(Ran.load(), 1);
+  Pool.shutdown(); // Idempotent.
+}
+
+//===--------------------------------------------------------------------===//
+// Sharded Statistics under concurrency
+//===--------------------------------------------------------------------===//
+
+TEST(StatisticsConcurrent, NThreadsAddingNeverLoseCounts) {
+  Statistics S;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&S] {
+      for (int I = 0; I < PerThread; ++I) {
+        S.add("shared");
+        S.add("batch", 2);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(S.get("shared"), uint64_t(NumThreads) * PerThread);
+  EXPECT_EQ(S.get("batch"), uint64_t(NumThreads) * PerThread * 2);
+}
+
+TEST(StatisticsConcurrent, SnapshotWhileAddersRun) {
+  Statistics S;
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Adders;
+  for (int T = 0; T < 4; ++T)
+    Adders.emplace_back([&] {
+      S.add("live"); // At least one add even if Stop flips instantly.
+      while (!Stop.load(std::memory_order_relaxed))
+        S.add("live");
+    });
+  // Concurrent merges must neither crash nor tear counter values.
+  uint64_t Last = 0;
+  for (int I = 0; I < 100; ++I) {
+    uint64_t Now = S.get("live");
+    EXPECT_GE(Now, Last); // Monotone while only adders run.
+    Last = Now;
+    (void)S.snapshot();
+  }
+  Stop.store(true);
+  for (std::thread &T : Adders)
+    T.join();
+  auto Snap = S.snapshot();
+  ASSERT_EQ(Snap.size(), 1u);
+  EXPECT_GE(Snap[0].second, 4u);
+  EXPECT_EQ(S.get("live"), Snap[0].second);
+}
+
+TEST(StatisticsConcurrent, CountsFromExitedThreadsSurvive) {
+  Statistics S;
+  std::thread([&S] { S.add("ghost", 7); }).join();
+  EXPECT_EQ(S.get("ghost"), 7u);
+}
+
+TEST(StatisticsConcurrent, ThreadPoolWorkersUseTheirOwnShards) {
+  Statistics S;
+  ThreadPool Pool(4);
+  for (int I = 0; I < 1000; ++I)
+    Pool.submit([&S] { S.add("pooled"); });
+  Pool.waitAll();
+  EXPECT_EQ(S.get("pooled"), 1000u);
+}
+
+TEST(StatisticsSet, SetOverridesShardContributions) {
+  Statistics S;
+  std::thread([&S] { S.add("gauge", 100); }).join();
+  S.add("gauge", 5);
+  S.set("gauge", 3); // Absolute: wipes the per-thread deltas.
+  EXPECT_EQ(S.get("gauge"), 3u);
+  S.add("gauge", 2); // Deltas resume on top of the base value.
+  EXPECT_EQ(S.get("gauge"), 5u);
+}
+
+TEST(StatisticsJson, RendersSortedObject) {
+  Statistics S;
+  S.add("b", 2);
+  S.add("a", 1);
+  EXPECT_EQ(S.toJson(), "{\"a\": 1, \"b\": 2}");
+}
+
+} // namespace
