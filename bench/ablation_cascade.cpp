@@ -6,28 +6,71 @@
 //   (b) Steensgaard -> Andersen (the paper's default),
 //   (c) Steensgaard -> One-Level Flow -> Andersen.
 //
-// Usage: ablation_cascade [scale] (default 0.3)
+// The three configurations share one cross-cluster summary cache (and
+// one Algorithm-1 slice cache): any partition that lands below the
+// Andersen threshold is identical across configurations, so later
+// configurations replay its FSCS run from the cache instead of
+// recomputing it. The per-config "cache h/m" column shows the
+// cumulative hit/miss counters after that configuration.
+//
+// Usage: ablation_cascade [scale] [--stats-json] [--no-summary-cache]
+//
+// --stats-json dumps the BootstrapResult of the final configuration --
+// including the cumulative summary/slice cache counters -- as a JSON
+// document on stdout. --no-summary-cache is the ablation control: it
+// detaches both caches so every cluster is recomputed from scratch.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "core/BootstrapDriver.h"
 
+#include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
 using namespace bsaa;
 using namespace bsaa::bench;
 
 int main(int Argc, char **Argv) {
+  bool StatsJson = false;
+  bool UseCache = true;
+  for (int I = 1; I < Argc;) {
+    bool Strip = false;
+    if (std::strcmp(Argv[I], "--stats-json") == 0) {
+      StatsJson = true;
+      Strip = true;
+    } else if (std::strcmp(Argv[I], "--no-summary-cache") == 0) {
+      UseCache = false;
+      Strip = true;
+    }
+    if (Strip) {
+      // Hide the flag from the positional scale parser.
+      for (int J = I; J + 1 < Argc; ++J)
+        Argv[J] = Argv[J + 1];
+      --Argc;
+    } else {
+      ++I;
+    }
+  }
+
   double Scale = scaleFromArgs(Argc, Argv, 0.2);
 
+  // One process-wide cache pair: entries are keyed by a program
+  // fingerprint, so sharing across programs is safe.
+  auto SummaryCache =
+      UseCache ? std::make_shared<fscs::SummaryCache>() : nullptr;
+  auto SliceCache =
+      UseCache ? std::make_shared<core::SliceCache>() : nullptr;
+
+  core::BootstrapResult LastRun;
   for (const char *Name : {"autofs", "clamd"}) {
     workload::SuiteEntry Entry = workload::suiteEntry(Name, Scale);
     std::unique_ptr<ir::Program> P = compileEntry(Entry);
     std::printf("\n%s (scale %.2f, %u pointers)\n", Name, Scale,
                 P->numPointers());
-    std::printf("  %-28s %9s %6s %12s %12s\n", "cascade", "#clusters",
-                "max", "refine-time", "fscs-sim-par");
+    std::printf("  %-28s %9s %6s %12s %12s %13s\n", "cascade", "#clusters",
+                "max", "refine-time", "fscs-sim-par", "cache h/m");
 
     struct Config {
       const char *Label;
@@ -44,15 +87,29 @@ int main(int Argc, char **Argv) {
       Opts.AndersenThreshold = C.Threshold;
       Opts.UseOneFlow = C.OneFlow;
       Opts.EngineOpts.StepBudget = 50000;
+      Opts.SummaryCache = SummaryCache;
+      Opts.RelevantSliceCache = SliceCache;
       core::BootstrapDriver Driver(*P, Opts);
       core::BootstrapResult R = Driver.runAll();
-      std::printf("  %-28s %9u %6u %12.3f %12s\n", C.Label, R.NumClusters,
-                  R.MaxClusterSize,
+      char CacheCol[32];
+      if (UseCache)
+        std::snprintf(CacheCol, sizeof(CacheCol), "%" PRIu64 "/%" PRIu64,
+                      R.SummaryCacheReport.Counters.Hits,
+                      R.SummaryCacheReport.Counters.Misses);
+      else
+        std::snprintf(CacheCol, sizeof(CacheCol), "off");
+      std::printf("  %-28s %9u %6u %12.3f %12s %13s\n", C.Label,
+                  R.NumClusters, R.MaxClusterSize,
                   R.AndersenClusteringSeconds + R.OneFlowSeconds,
                   formatSeconds(R.SimulatedParallelSeconds, R.AnyBudgetHit)
-                      .c_str());
+                      .c_str(),
+                  CacheCol);
       std::fflush(stdout);
+      LastRun = std::move(R);
     }
   }
+
+  if (StatsJson)
+    std::fputs(core::toStatsJson(LastRun).c_str(), stdout);
   return 0;
 }

@@ -51,8 +51,7 @@ bool AndersenAnalysis::addCopyEdge(uint32_t From, uint32_t To) {
   uint32_t F = Reps.find(From), T = Reps.find(To);
   if (F == T)
     return false;
-  uint64_t Key = (uint64_t(F) << 32) | T;
-  if (!CopyDedup[F].insert(Key).second)
+  if (!CopyDedup[F].insert(T).second)
     return false;
   Copy[F].push_back(T);
   return true;

@@ -87,7 +87,9 @@ private:
   UnionFind Reps;
   std::vector<SparseBitVector> Pts;        ///< Keyed by representative.
   std::vector<std::vector<uint32_t>> Copy; ///< Copy successors (raw ids).
-  std::vector<std::unordered_set<uint64_t>> CopyDedup;
+  /// Per-source dedup of copy edges. The vector is already indexed by
+  /// the source representative, so entries store just the target id.
+  std::vector<std::unordered_set<uint32_t>> CopyDedup;
   /// x = *y pairs (y, x) and *x = y pairs (x, y); raw variable ids.
   std::vector<std::pair<ir::VarId, ir::VarId>> Loads;
   std::vector<std::pair<ir::VarId, ir::VarId>> Stores;

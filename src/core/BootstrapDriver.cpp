@@ -22,7 +22,10 @@ using namespace bsaa::core;
 using namespace bsaa::ir;
 
 BootstrapDriver::BootstrapDriver(const Program &P, BootstrapOptions Opts)
-    : Prog(P), Opts(Opts), CG(P) {}
+    : Prog(P), Opts(std::move(Opts)), CG(P) {
+  if (this->Opts.SummaryCache || this->Opts.RelevantSliceCache)
+    ProgFP = programFingerprint(P);
+}
 
 const analysis::SteensgaardAnalysis &BootstrapDriver::steensgaard() {
   if (!Steens) {
@@ -104,7 +107,8 @@ std::vector<Cluster> BootstrapDriver::buildCover() {
 
     // Oversized partition: refine. Either cascade stage runs only on
     // the partition's Algorithm-1 slice -- this is the bootstrapping.
-    attachRelevantSlice(Prog, S, Part, Index);
+    attachRelevantSlice(Prog, S, Part, Index,
+                        Opts.RelevantSliceCache.get(), ProgFP);
 
     std::vector<Cluster> Pieces;
     if (Opts.UseOneFlow) {
@@ -122,7 +126,8 @@ std::vector<Cluster> BootstrapDriver::buildCover() {
           continue;
         }
         Timer TA;
-        attachRelevantSlice(Prog, S, Piece, Index);
+        attachRelevantSlice(Prog, S, Piece, Index,
+                            Opts.RelevantSliceCache.get(), ProgFP);
         analysis::AndersenAnalysis Andersen(Prog);
         Andersen.runOn(Piece.Statements);
         std::vector<Cluster> Sub = andersenClusters(Prog, Andersen, Piece);
@@ -145,7 +150,8 @@ std::vector<Cluster> BootstrapDriver::buildCover() {
   // Attach slices for every cluster that does not have one yet.
   for (Cluster &C : Cover)
     if (C.Statements.empty() && C.TrackedRefs.empty())
-      attachRelevantSlice(Prog, S, C, Index);
+      attachRelevantSlice(Prog, S, C, Index,
+                          Opts.RelevantSliceCache.get(), ProgFP);
   return Cover;
 }
 
@@ -162,6 +168,26 @@ uint64_t clusterCostKey(const ir::Program &P, const Cluster &C) {
 
 } // namespace
 
+namespace {
+
+/// Copies the replayable (non-timing) metrics of a cluster run out of
+/// the engine/dovetail accounting. Shared by the compute path and the
+/// cache-hit path so both produce bit-identical ClusterRunResults.
+void fillClusterMetrics(ClusterRunResult &R,
+                        const fscs::SummaryEngine::EngineStats &ES,
+                        const fscs::DovetailStats &DS) {
+  R.Steps = ES.Steps;
+  R.SummaryTuples = ES.SummaryTuples;
+  R.SummaryKeys = ES.Keys;
+  R.BudgetHit = ES.BudgetHit;
+  R.Approximated = ES.Approximated;
+  R.DepthLevels = DS.DepthLevels;
+  R.FsciQueries = DS.FsciQueries;
+  R.DovetailComplete = DS.Complete;
+}
+
+} // namespace
+
 ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
   assert(Steens && "run steensgaard() before analyzing clusters");
   ClusterRunResult R;
@@ -169,6 +195,23 @@ ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
   R.SliceSize = static_cast<uint32_t>(C.Statements.size());
   R.CostKey = clusterCostKey(Prog, C);
   Timer T;
+
+  support::Digest Key{0, 0};
+  if (Opts.SummaryCache) {
+    Key = fscs::clusterSummaryKey(ProgFP, C, Opts.EngineOpts);
+    if (std::shared_ptr<const fscs::CachedClusterRun> Hit =
+            Opts.SummaryCache->lookup(Key)) {
+      // Replay the memoized run: identical metrics, identical global
+      // statistics contributions, no SummaryEngine re-execution.
+      fillClusterMetrics(R, Hit->Stats, Hit->Dove);
+      R.FromCache = true;
+      fscs::SummaryEngine::accumulateGlobalStats(Hit->Stats,
+                                                 Statistics::global());
+      R.Seconds = T.seconds();
+      return R;
+    }
+  }
+
   fscs::ClusterAliasAnalysis AA(Prog, CG, *Steens, C, Opts.EngineOpts);
   AA.prepare();
   // Workload: the points-to set of every member pointer at its owning
@@ -187,16 +230,19 @@ ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
   }
   R.Seconds = T.seconds();
   fscs::SummaryEngine::EngineStats ES = AA.engine().stats();
-  R.Steps = ES.Steps;
-  R.SummaryTuples = ES.SummaryTuples;
-  R.SummaryKeys = ES.Keys;
-  R.BudgetHit = ES.BudgetHit;
-  R.Approximated = ES.Approximated;
-  R.DepthLevels = AA.dovetailStats().DepthLevels;
-  R.FsciQueries = AA.dovetailStats().FsciQueries;
-  R.DovetailComplete = AA.dovetailStats().Complete;
+  fillClusterMetrics(R, ES, AA.dovetailStats());
   // Per-thread shards make this contention-free from worker threads.
   AA.engine().accumulateGlobalStats(Statistics::global());
+
+  if (Opts.SummaryCache) {
+    // Publish the complete memoized product so a future hit replays
+    // this run bit-for-bit (first insert wins on a racing key).
+    fscs::CachedClusterRun Run;
+    Run.Engine = AA.engine().exportState();
+    Run.Dove = AA.dovetailStats();
+    Run.Stats = ES;
+    Opts.SummaryCache->insert(Key, std::move(Run));
+  }
   return R;
 }
 
@@ -258,6 +304,15 @@ BootstrapResult BootstrapDriver::runAll() {
   }
   Result.SimulatedParallelSeconds =
       simulateParallel(Result.Clusters, Opts.SimulatedParts);
+
+  if (Opts.SummaryCache) {
+    Result.SummaryCacheReport.Enabled = true;
+    Result.SummaryCacheReport.Counters = Opts.SummaryCache->counters();
+  }
+  if (Opts.RelevantSliceCache) {
+    Result.SliceCacheReport.Enabled = true;
+    Result.SliceCacheReport.Counters = Opts.RelevantSliceCache->counters();
+  }
   return Result;
 }
 
@@ -295,35 +350,66 @@ BootstrapDriver::simulateParallel(const std::vector<ClusterRunResult> &Rs,
 }
 
 std::string core::toStatsJson(const BootstrapResult &R) {
+  return toStatsJson(R, StatsJsonOptions());
+}
+
+namespace {
+
+void emitCacheReport(std::ostringstream &OS, const char *Name,
+                     const BootstrapResult::CacheReport &C) {
+  OS << "  \"" << Name
+     << "\": {\"enabled\": " << (C.Enabled ? "true" : "false")
+     << ", \"hits\": " << C.Counters.Hits
+     << ", \"misses\": " << C.Counters.Misses
+     << ", \"inserts\": " << C.Counters.Inserts
+     << ", \"bytes\": " << C.Counters.Bytes
+     << ", \"hit_rate\": " << C.Counters.hitRate() << "},\n";
+}
+
+} // namespace
+
+std::string core::toStatsJson(const BootstrapResult &R,
+                              const StatsJsonOptions &O) {
   std::ostringstream OS;
   OS << "{\n";
-  OS << "  \"steensgaard_seconds\": " << R.SteensgaardSeconds << ",\n";
-  OS << "  \"andersen_clustering_seconds\": " << R.AndersenClusteringSeconds
-     << ",\n";
-  OS << "  \"oneflow_seconds\": " << R.OneFlowSeconds << ",\n";
+  if (O.IncludeTimings) {
+    OS << "  \"steensgaard_seconds\": " << R.SteensgaardSeconds << ",\n";
+    OS << "  \"andersen_clustering_seconds\": "
+       << R.AndersenClusteringSeconds << ",\n";
+    OS << "  \"oneflow_seconds\": " << R.OneFlowSeconds << ",\n";
+  }
   OS << "  \"num_clusters\": " << R.NumClusters << ",\n";
   OS << "  \"max_cluster_size\": " << R.MaxClusterSize << ",\n";
-  OS << "  \"total_fscs_seconds\": " << R.TotalFscsSeconds << ",\n";
-  OS << "  \"simulated_parallel_seconds\": " << R.SimulatedParallelSeconds
-     << ",\n";
+  if (O.IncludeTimings) {
+    OS << "  \"total_fscs_seconds\": " << R.TotalFscsSeconds << ",\n";
+    OS << "  \"simulated_parallel_seconds\": " << R.SimulatedParallelSeconds
+       << ",\n";
+  }
   OS << "  \"any_budget_hit\": " << (R.AnyBudgetHit ? "true" : "false")
      << ",\n";
+  if (O.IncludeCacheStats) {
+    emitCacheReport(OS, "summary_cache", R.SummaryCacheReport);
+    emitCacheReport(OS, "slice_cache", R.SliceCacheReport);
+  }
   OS << "  \"clusters\": [\n";
   for (size_t I = 0; I < R.Clusters.size(); ++I) {
     const ClusterRunResult &C = R.Clusters[I];
     OS << "    {\"pointers\": " << C.PointerCount
        << ", \"slice_size\": " << C.SliceSize
-       << ", \"cost_key\": " << C.CostKey
-       << ", \"seconds\": " << C.Seconds
-       << ", \"steps\": " << C.Steps
+       << ", \"cost_key\": " << C.CostKey;
+    if (O.IncludeTimings)
+      OS << ", \"seconds\": " << C.Seconds;
+    OS << ", \"steps\": " << C.Steps
        << ", \"summary_tuples\": " << C.SummaryTuples
        << ", \"summary_keys\": " << C.SummaryKeys
        << ", \"depth_levels\": " << C.DepthLevels
        << ", \"fsci_queries\": " << C.FsciQueries
        << ", \"dovetail_complete\": " << (C.DovetailComplete ? "true" : "false")
        << ", \"budget_hit\": " << (C.BudgetHit ? "true" : "false")
-       << ", \"approximated\": " << (C.Approximated ? "true" : "false")
-       << "}" << (I + 1 < R.Clusters.size() ? "," : "") << "\n";
+       << ", \"approximated\": " << (C.Approximated ? "true" : "false");
+    if (O.IncludeCacheStats)
+      OS << ", \"from_cache\": " << (C.FromCache ? "true" : "false");
+    OS << "}" << (I + 1 < R.Clusters.size() ? "," : "") << "\n";
   }
   OS << "  ],\n";
   OS << "  \"statistics\": " << Statistics::global().toJson() << "\n";

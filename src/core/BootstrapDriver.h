@@ -28,6 +28,8 @@
 
 #include "analysis/Steensgaard.h"
 #include "core/Cluster.h"
+#include "core/RelevantStatements.h"
+#include "fscs/SummaryCache.h"
 #include "fscs/SummaryEngine.h"
 #include "ir/CallGraph.h"
 
@@ -67,6 +69,18 @@ struct BootstrapOptions {
   /// in tests, for fault injection: an exception it throws surfaces
   /// from runAll() like any other cluster-job failure.
   std::function<void(const Cluster &)> ClusterHook;
+
+  /// Cross-cluster FSCS memoization (null = disabled). Shared between
+  /// cluster workers and, because entries are keyed by a program
+  /// fingerprint, safely shareable across driver instances and across
+  /// programs: overlapping covers and repeated ablation configurations
+  /// hit the cache instead of re-running SummaryEngine. A hit replays
+  /// bit-identical per-cluster metrics and global statistics.
+  std::shared_ptr<fscs::SummaryCache> SummaryCache;
+
+  /// Algorithm-1 result memoization (null = disabled), keyed the same
+  /// way by (program fingerprint, member list).
+  std::shared_ptr<SliceCache> RelevantSliceCache;
 };
 
 /// Per-cluster FSCS outcome.
@@ -83,6 +97,9 @@ struct ClusterRunResult {
   bool DovetailComplete = true;
   bool BudgetHit = false;
   bool Approximated = false;
+  /// Served from the summary cache (all non-timing fields replayed from
+  /// the memoized run; Seconds measures the lookup instead).
+  bool FromCache = false;
 };
 
 /// Whole-pipeline outcome: the raw material of a Table 1 row.
@@ -98,6 +115,17 @@ struct BootstrapResult {
   double TotalFscsSeconds = 0;      ///< Sum over clusters.
   double SimulatedParallelSeconds = 0; ///< Greedy k-part max.
   bool AnyBudgetHit = false;
+
+  /// Cache accounting at the end of the run (both all-zero with their
+  /// Enabled flag false when the corresponding cache was not attached).
+  /// Counters are cumulative over the cache's lifetime, which may span
+  /// several drivers sharing it.
+  struct CacheReport {
+    bool Enabled = false;
+    support::CacheCounters Counters;
+  };
+  CacheReport SummaryCacheReport;
+  CacheReport SliceCacheReport;
 };
 
 /// Drives the cascade over one program.
@@ -151,14 +179,31 @@ private:
   std::unique_ptr<analysis::SteensgaardAnalysis> Steens;
   double AndersenSeconds = 0;
   double OneFlowSecs = 0;
+  /// Program content fingerprint for cache keys; computed once in the
+  /// constructor when a cache is attached (0 otherwise).
+  uint64_t ProgFP = 0;
+};
+
+/// Controls which sections toStatsJson emits. Determinism and
+/// cache-equivalence tests compare runs byte-for-byte, which requires
+/// excluding wall-clock timings (never repeatable) and cache counters
+/// (cumulative across the cache's lifetime, so they differ between a
+/// cold and a warm run even when the analysis results are identical).
+struct StatsJsonOptions {
+  bool IncludeTimings = true;
+  bool IncludeCacheStats = true;
 };
 
 /// Renders \p R as a JSON document: pipeline timings, per-cluster
 /// metrics (pointer count, slice size, LPT cost key, wall-clock, steps,
 /// summary tuples/keys, dovetail accounting, budget/approximation
-/// flags), and the merged global Statistics registry. This is what
-/// --stats-json dumps in the bench harnesses.
+/// flags), cache accounting, and the merged global Statistics registry.
+/// This is what --stats-json dumps in the bench harnesses.
 std::string toStatsJson(const BootstrapResult &R);
+
+/// Section-selective overload (see StatsJsonOptions).
+std::string toStatsJson(const BootstrapResult &R,
+                        const StatsJsonOptions &O);
 
 } // namespace core
 } // namespace bsaa

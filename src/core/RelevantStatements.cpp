@@ -225,3 +225,84 @@ void bsaa::core::attachRelevantSlice(
   C.TrackedRefs = std::move(Slice.TrackedRefs);
   C.Statements = std::move(Slice.Statements);
 }
+
+//===--------------------------------------------------------------------===//
+// Content-addressed slice memoization
+//===--------------------------------------------------------------------===//
+
+uint64_t bsaa::core::programFingerprint(const Program &P) {
+  support::ContentHasher H;
+  H.u64(0x50524f4752414d46ull); // "PROGRAMF": domain separation.
+  H.u32(P.numVars());
+  for (VarId V = 0; V < P.numVars(); ++V) {
+    const Variable &Var = P.var(V);
+    H.u32(uint32_t(Var.Kind));
+    H.u32(uint32_t(Var.Base));
+    H.u32(Var.PtrDepth);
+    H.u32(Var.Owner);
+  }
+  H.u32(P.numFuncs());
+  for (FuncId F = 0; F < P.numFuncs(); ++F) {
+    const Function &Fn = P.func(F);
+    H.u32(Fn.Entry);
+    H.u32(Fn.Exit);
+    H.u64(Fn.Params.size());
+    for (VarId V : Fn.Params)
+      H.u32(V);
+    H.u32(Fn.RetVal);
+    H.u32(Fn.FuncObj);
+  }
+  H.u32(P.numLocs());
+  for (LocId L = 0; L < P.numLocs(); ++L) {
+    const Location &Loc = P.loc(L);
+    H.u32(uint32_t(Loc.Kind));
+    H.u32(Loc.Lhs);
+    H.u32(Loc.Rhs);
+    H.u32(Loc.Owner);
+    H.u32(Loc.IndirectTarget);
+    H.u64(Loc.Callees.size());
+    for (FuncId G : Loc.Callees)
+      H.u32(G);
+    H.u64(Loc.Succs.size());
+    for (LocId S : Loc.Succs)
+      H.u32(S);
+  }
+  H.u32(P.entryFunction());
+  return H.digest().Lo;
+}
+
+support::Digest
+bsaa::core::sliceCacheKey(uint64_t ProgramFingerprint,
+                          const std::vector<VarId> &Members) {
+  support::ContentHasher H;
+  H.u64(0x534c494345'4b4559ull); // "SLICEKEY": domain separation.
+  H.u64(ProgramFingerprint);
+  H.u64(Members.size());
+  for (VarId V : Members)
+    H.u32(V);
+  return H.digest();
+}
+
+void bsaa::core::attachRelevantSlice(
+    const Program &P, const analysis::SteensgaardAnalysis &Steens,
+    Cluster &C, const SliceIndex &Index, SliceCache *Cache,
+    uint64_t ProgramFingerprint) {
+  if (!Cache) {
+    attachRelevantSlice(P, Steens, C, Index);
+    return;
+  }
+  support::Digest Key = sliceCacheKey(ProgramFingerprint, C.Members);
+  if (std::shared_ptr<const RelevantSlice> Hit = Cache->lookup(Key)) {
+    C.TrackedRefs = Hit->TrackedRefs;
+    C.Statements = Hit->Statements;
+    return;
+  }
+  RelevantSlice Slice =
+      computeRelevantStatements(P, Steens, C.Members, Index);
+  C.TrackedRefs = Slice.TrackedRefs;
+  C.Statements = Slice.Statements;
+  uint64_t Bytes = sizeof(RelevantSlice) +
+                   Slice.TrackedRefs.size() * sizeof(Ref) +
+                   Slice.Statements.size() * sizeof(LocId);
+  Cache->insert(Key, std::move(Slice), Bytes);
+}

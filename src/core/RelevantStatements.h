@@ -30,6 +30,7 @@
 
 #include "core/Cluster.h"
 #include "ir/Ir.h"
+#include "support/ShardedCache.h"
 
 #include <vector>
 
@@ -88,6 +89,37 @@ void attachRelevantSlice(const ir::Program &P,
 void attachRelevantSlice(const ir::Program &P,
                          const analysis::SteensgaardAnalysis &Steens,
                          Cluster &C, const SliceIndex &Index);
+
+//===----------------------------------------------------------------------===//
+// Content-addressed slice memoization
+//===----------------------------------------------------------------------===//
+
+/// 64-bit content fingerprint of a whole program: variables (kind,
+/// type, depth, owner), functions (params, entry/exit), and every
+/// location's statement + CFG edges. Two programs with equal
+/// fingerprints are treated as identical by the slice and summary
+/// caches, which lets one process-wide cache serve many programs (the
+/// ablation harnesses and the property-test corpus) without
+/// cross-contamination.
+uint64_t programFingerprint(const ir::Program &P);
+
+/// Cache key for Algorithm-1 output. The slice is a pure function of
+/// (program, Steensgaard hierarchy, members), and the hierarchy is
+/// itself a deterministic function of the program, so the program
+/// fingerprint plus the member list addresses the result completely
+/// (see DESIGN.md, "Summary-cache key derivation").
+support::Digest sliceCacheKey(uint64_t ProgramFingerprint,
+                              const std::vector<ir::VarId> &Members);
+
+/// Shared Algorithm-1 result cache (sharded, thread-safe).
+using SliceCache = support::ShardedCache<RelevantSlice>;
+
+/// Cached fast path: consults \p Cache (when non-null) before running
+/// Algorithm 1, and publishes fresh results into it.
+void attachRelevantSlice(const ir::Program &P,
+                         const analysis::SteensgaardAnalysis &Steens,
+                         Cluster &C, const SliceIndex &Index,
+                         SliceCache *Cache, uint64_t ProgramFingerprint);
 
 } // namespace core
 } // namespace bsaa

@@ -41,6 +41,15 @@ void ClusterAliasAnalysis::prepare() {
   DoveStats = dovetail(*Engine, Prog, Steens, Clu);
 }
 
+void ClusterAliasAnalysis::adoptState(SummaryEngine::State S,
+                                      const DovetailStats &D) {
+  Engine->importState(std::move(S));
+  DoveStats = D;
+  // The adopted state already contains the dovetail warmup's FSCI memo;
+  // running prepare() again would only re-issue memoized queries.
+  Prepared = true;
+}
+
 void ClusterAliasAnalysis::ensurePrepared() { prepare(); }
 
 //===--------------------------------------------------------------------===//

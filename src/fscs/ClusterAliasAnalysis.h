@@ -63,6 +63,14 @@ public:
   /// needed; calling it explicitly makes timing measurements cleaner.
   void prepare();
 
+  /// Installs a previously exported engine state plus its dovetail
+  /// accounting (a SummaryCache hit) and marks the analysis prepared.
+  /// Only valid when this analysis was constructed over the same
+  /// program, cluster, and options that produced the state; queries are
+  /// then answered from the restored fixpoint exactly as the exporting
+  /// engine would have answered them.
+  void adoptState(SummaryEngine::State S, const DovetailStats &D);
+
   //===--------------------------------------------------------------===//
   // FSCI queries (all contexts)
   //===--------------------------------------------------------------===//

@@ -119,16 +119,16 @@ bool SummaryEngine::mayModify(FuncId G, Ref Q) {
 
 SummaryEngine::KeyId SummaryEngine::ensureKey(LocId Loc, Ref R) {
   auto MapKey = std::make_pair(Loc, refHash(R));
-  auto It = KeyIndex.find(MapKey);
-  if (It != KeyIndex.end())
+  auto It = St.KeyIndex.find(MapKey);
+  if (It != St.KeyIndex.end())
     return It->second;
-  KeyId K = static_cast<KeyId>(Keys.size());
-  Keys.emplace_back();
+  KeyId K = static_cast<KeyId>(St.Keys.size());
+  St.Keys.emplace_back();
   KeyActive.push_back(0);
   FeedQueued.push_back(0);
-  Keys[K].AnchorLoc = Loc;
-  Keys[K].R = R;
-  KeyIndex.emplace(MapKey, K);
+  St.Keys[K].AnchorLoc = Loc;
+  St.Keys[K].R = R;
+  St.KeyIndex.emplace(MapKey, K);
 
   if (R.Deref < 0) {
     // &o is already an origin.
@@ -140,12 +140,12 @@ SummaryEngine::KeyId SummaryEngine::ensureKey(LocId Loc, Ref R) {
 }
 
 void SummaryEngine::enqueue(KeyId K, TraversalTuple T) {
-  if (BudgetHit)
+  if (St.BudgetHit)
     return;
   if (T.Cond.isFalse())
     return;
   uint64_t H = tupleHash(T.M, T.Q, T.Cond);
-  KeyState &KS = Keys[K];
+  KeyState &KS = St.Keys[K];
   if (!KS.Seen.insert(H).second)
     return;
   KS.WL.push_back(std::move(T));
@@ -165,17 +165,17 @@ void SummaryEngine::addResult(KeyId K, Ref Origin, const Condition &Cond) {
   // widening that keeps recursive SCC splices from cross-multiplying
   // condition variants without bound.
   Condition Effective = Cond;
-  if (Keys[K].Results.size() >= Opts.MaxResultsPerKey)
+  if (St.Keys[K].Results.size() >= Opts.MaxResultsPerKey)
     Effective = Condition();
   uint64_t H = refHash(Origin) * 0x100000001b3ull ^ Effective.hash();
-  if (!Keys[K].ResultHashes.insert(H).second)
+  if (!St.Keys[K].ResultHashes.insert(H).second)
     return;
   SummaryTuple Tuple;
-  Tuple.Anchor = Keys[K].R;
-  Tuple.AnchorLoc = Keys[K].AnchorLoc;
+  Tuple.Anchor = St.Keys[K].R;
+  Tuple.AnchorLoc = St.Keys[K].AnchorLoc;
   Tuple.Origin = Origin;
   Tuple.Cond = Effective;
-  Keys[K].Results.push_back(std::move(Tuple));
+  St.Keys[K].Results.push_back(std::move(Tuple));
   // Queue the key for waiter feeding; doing it inline would recurse
   // through result -> splice -> result chains and overflow the stack on
   // deep explorations.
@@ -186,16 +186,16 @@ void SummaryEngine::addResult(KeyId K, Ref Origin, const Condition &Cond) {
 }
 
 void SummaryEngine::feedWaiter(KeyId Provider, size_t WaiterIdx) {
-  // The Waiters vector (and Keys itself) can grow during nested
-  // processing, so re-index through Keys[Provider] on every access.
-  KeyId Dependent = Keys[Provider].Waiters[WaiterIdx].Dependent;
-  LocId CallLoc = Keys[Provider].Waiters[WaiterIdx].CallLoc;
-  Condition CondAtCall = Keys[Provider].Waiters[WaiterIdx].CondAtCall;
-  while (Keys[Provider].Waiters[WaiterIdx].Consumed <
-         Keys[Provider].Results.size()) {
+  // The Waiters vector (and St.Keys itself) can grow during nested
+  // processing, so re-index through St.Keys[Provider] on every access.
+  KeyId Dependent = St.Keys[Provider].Waiters[WaiterIdx].Dependent;
+  LocId CallLoc = St.Keys[Provider].Waiters[WaiterIdx].CallLoc;
+  Condition CondAtCall = St.Keys[Provider].Waiters[WaiterIdx].CondAtCall;
+  while (St.Keys[Provider].Waiters[WaiterIdx].Consumed <
+         St.Keys[Provider].Results.size()) {
     SummaryTuple R =
-        Keys[Provider]
-            .Results[Keys[Provider].Waiters[WaiterIdx].Consumed++];
+        St.Keys[Provider]
+            .Results[St.Keys[Provider].Waiters[WaiterIdx].Consumed++];
     Condition Merged = CondAtCall.conjoinAll(R.Cond, Opts.MaxCondAtoms);
     if (Merged.isFalse())
       continue;
@@ -275,21 +275,21 @@ void SummaryEngine::drain() {
       KeyId K = PendingFeeds.front();
       PendingFeeds.pop_front();
       FeedQueued[K] = 0;
-      for (size_t I = 0; I < Keys[K].Waiters.size(); ++I)
+      for (size_t I = 0; I < St.Keys[K].Waiters.size(); ++I)
         feedWaiter(K, I);
       continue;
     }
     KeyId K = ActiveKeys.front();
     ActiveKeys.pop_front();
     KeyActive[K] = 0;
-    while (!Keys[K].WL.empty()) {
-      if (Opts.StepBudget && Steps >= Opts.StepBudget) {
-        BudgetHit = true;
+    while (!St.Keys[K].WL.empty()) {
+      if (Opts.StepBudget && St.Steps >= Opts.StepBudget) {
+        St.BudgetHit = true;
         return;
       }
-      TraversalTuple T = std::move(Keys[K].WL.front());
-      Keys[K].WL.pop_front();
-      ++Steps;
+      TraversalTuple T = std::move(St.Keys[K].WL.front());
+      St.Keys[K].WL.pop_front();
+      ++St.Steps;
       processTuple(K, T);
     }
   }
@@ -335,9 +335,9 @@ void SummaryEngine::handleCall(KeyId K, const TraversalTuple &T) {
     KeyId Provider = ensureKey(Prog.func(G).Exit, T.Q);
     uint64_t WH = (uint64_t(K) << 32) ^ (uint64_t(T.M) * 0x9e3779b9) ^
                   T.Cond.hash() ^ Provider;
-    if (Keys[Provider].WaiterHashes.insert(WH).second) {
-      Keys[Provider].Waiters.push_back(Waiter{K, T.M, T.Cond, 0});
-      feedWaiter(Provider, Keys[Provider].Waiters.size() - 1);
+    if (St.Keys[Provider].WaiterHashes.insert(WH).second) {
+      St.Keys[Provider].Waiters.push_back(Waiter{K, T.M, T.Cond, 0});
+      feedWaiter(Provider, St.Keys[Provider].Waiters.size() - 1);
     }
   }
   if (!AnyCallee) {
@@ -471,7 +471,7 @@ void SummaryEngine::transfer(LocId M, Ref Q, const Condition &Cond,
           Candidates = Steens.partitionMembers(Succ);
       }
       if (Candidates.size() > Opts.MaxDerefFanout) {
-        Approximated = true;
+        St.Approximated = true;
         Candidates.resize(Opts.MaxDerefFanout);
       }
       for (VarId O : Candidates) {
@@ -542,8 +542,8 @@ bool SummaryEngine::mayAliasAt(VarId U, VarId S, LocId M) {
 
 const SparseBitVector *SummaryEngine::fsciIfKnown(VarId V,
                                                   LocId Loc) const {
-  auto It = FsciMemo.find(std::make_pair(V, Loc));
-  return It == FsciMemo.end() ? nullptr : &It->second;
+  auto It = St.FsciMemo.find(std::make_pair(V, Loc));
+  return It == St.FsciMemo.end() ? nullptr : &It->second;
 }
 
 bool SummaryEngine::satisfiable(const Condition &Cond) {
@@ -586,7 +586,7 @@ std::vector<SummaryTuple> SummaryEngine::summaryAt(LocId AnchorLoc,
                                                    Ref R) {
   KeyId K = ensureKey(AnchorLoc, R);
   drain();
-  return Keys[K].Results;
+  return St.Keys[K].Results;
 }
 
 std::vector<SummaryTuple> SummaryEngine::originsBefore(LocId Loc, Ref R) {
@@ -614,8 +614,8 @@ std::vector<SummaryTuple> SummaryEngine::originsBefore(LocId Loc, Ref R) {
 
 const SparseBitVector &SummaryEngine::fsciPointsTo(VarId V, LocId Loc) {
   auto MapKey = std::make_pair(V, Loc);
-  auto It = FsciMemo.find(MapKey);
-  if (It != FsciMemo.end())
+  auto It = St.FsciMemo.find(MapKey);
+  if (It != St.FsciMemo.end())
     return It->second;
   if (FsciInProgress.count(V))
     return EmptySet;
@@ -653,29 +653,33 @@ const SparseBitVector &SummaryEngine::fsciPointsTo(VarId V, LocId Loc) {
   }
 
   FsciInProgress.erase(V);
-  auto [Ins, _] = FsciMemo.emplace(MapKey, std::move(Objects));
+  auto [Ins, _] = St.FsciMemo.emplace(MapKey, std::move(Objects));
   return Ins->second;
 }
 
 uint64_t SummaryEngine::numSummaryTuples() const {
   uint64_t N = 0;
-  for (const KeyState &KS : Keys)
+  for (const KeyState &KS : St.Keys)
     N += KS.Results.size();
   return N;
 }
 
 SummaryEngine::EngineStats SummaryEngine::stats() const {
   EngineStats S;
-  S.Steps = Steps;
+  S.Steps = St.Steps;
   S.SummaryTuples = numSummaryTuples();
-  S.Keys = Keys.size();
-  S.BudgetHit = BudgetHit;
-  S.Approximated = Approximated;
+  S.Keys = St.Keys.size();
+  S.BudgetHit = St.BudgetHit;
+  S.Approximated = St.Approximated;
   return S;
 }
 
 void SummaryEngine::accumulateGlobalStats(Statistics &Global) const {
-  EngineStats S = stats();
+  accumulateGlobalStats(stats(), Global);
+}
+
+void SummaryEngine::accumulateGlobalStats(const EngineStats &S,
+                                          Statistics &Global) {
   Global.add("fscs.steps", S.Steps);
   Global.add("fscs.summary-tuples", S.SummaryTuples);
   Global.add("fscs.keys", S.Keys);
@@ -684,4 +688,56 @@ void SummaryEngine::accumulateGlobalStats(Statistics &Global) const {
     Global.add("fscs.budget-hits", 1);
   if (S.Approximated)
     Global.add("fscs.approximations", 1);
+}
+
+//===--------------------------------------------------------------------===//
+// Memoized-state seam
+//===--------------------------------------------------------------------===//
+
+uint64_t SummaryEngine::State::approxBytes() const {
+  uint64_t N = sizeof(State);
+  for (const KeyState &KS : Keys) {
+    N += sizeof(KeyState);
+    N += KS.Results.size() * sizeof(SummaryTuple);
+    for (const SummaryTuple &T : KS.Results)
+      N += T.Cond.atoms().size() * sizeof(ConstraintAtom);
+    N += KS.ResultHashes.size() * sizeof(uint64_t) * 2;
+    N += KS.Seen.size() * sizeof(uint64_t) * 2;
+    N += KS.WaiterHashes.size() * sizeof(uint64_t) * 2;
+    N += KS.Waiters.size() * sizeof(Waiter);
+    N += KS.WL.size() * sizeof(TraversalTuple);
+  }
+  N += KeyIndex.size() * (sizeof(std::pair<ir::LocId, uint64_t>) + 48);
+  for (const auto &[K, Bits] : FsciMemo) {
+    (void)K;
+    N += 48 + Bits.count() / 8;
+  }
+  return N;
+}
+
+void SummaryEngine::importState(State S) {
+  St = std::move(S);
+  // Rebuild the transient scheduling scaffolding so the restored engine
+  // picks up exactly where the exporting engine stopped: keys with
+  // pending worklist tuples reactivate (they only exist when the export
+  // happened under an exhausted step budget), and providers whose
+  // waiters have unconsumed results are queued for feeding. Under an
+  // unexhausted budget both sets are empty -- the state is a fixpoint.
+  ActiveKeys.clear();
+  PendingFeeds.clear();
+  KeyActive.assign(St.Keys.size(), 0);
+  FeedQueued.assign(St.Keys.size(), 0);
+  for (KeyId K = 0; K < St.Keys.size(); ++K) {
+    if (!St.Keys[K].WL.empty()) {
+      KeyActive[K] = 1;
+      ActiveKeys.push_back(K);
+    }
+    for (const Waiter &W : St.Keys[K].Waiters) {
+      if (W.Consumed < St.Keys[K].Results.size() && !FeedQueued[K]) {
+        FeedQueued[K] = 1;
+        PendingFeeds.push_back(K);
+        break;
+      }
+    }
+  }
 }

@@ -78,6 +78,21 @@ struct SummaryTuple {
 };
 
 /// Demand-driven summary / FSCI points-to engine over one cluster slice.
+///
+/// The engine's data is split in two layers:
+///
+///  * the *memoized product* -- per-key summary tuples, FSCI points-to
+///    sets, and accounting -- lives in a value-type State that can be
+///    exported after a run and imported into a fresh engine over the
+///    same (program, cluster, options) inputs. This is the seam the
+///    cross-cluster SummaryCache uses: a cache hit imports the stored
+///    State instead of re-running the traversals, and every later query
+///    is answered from the restored fixpoint exactly as the original
+///    engine would have answered it.
+///  * everything else (slice membership, modification info, skip
+///    compression, worklist scheduling scaffolding) is derived
+///    deterministically from the constructor inputs and rebuilt per
+///    instance; it never needs to travel with the cache entry.
 class SummaryEngine {
 public:
   struct Options {
@@ -121,15 +136,15 @@ public:
   bool satisfiable(const Condition &Cond);
 
   /// True if any traversal hit the step budget (results are partial).
-  bool budgetExhausted() const { return BudgetHit; }
+  bool budgetExhausted() const { return St.BudgetHit; }
 
   /// True if a dereference fan-out was capped (results over-approximate
   /// by an explicit "unknown" marker rather than enumeration).
-  bool hasApproximation() const { return Approximated; }
+  bool hasApproximation() const { return St.Approximated; }
 
-  uint64_t stepsUsed() const { return Steps; }
+  uint64_t stepsUsed() const { return St.Steps; }
   uint64_t numSummaryTuples() const;
-  uint64_t numKeys() const { return Keys.size(); }
+  uint64_t numKeys() const { return St.Keys.size(); }
 
   /// Aggregate accounting of one engine's whole lifetime, cheap enough
   /// to sample once per cluster run.
@@ -147,9 +162,13 @@ public:
   /// parallel driver exercises only the sharded add() path.
   void accumulateGlobalStats(Statistics &Global) const;
 
-private:
+  /// Same accumulation from a detached EngineStats -- the summary-cache
+  /// hit path replays a cached run's accounting without an engine.
+  static void accumulateGlobalStats(const EngineStats &S,
+                                    Statistics &Global);
+
   //===--------------------------------------------------------------===//
-  // Keyed traversal state
+  // Memoized-state seam (summary cache)
   //===--------------------------------------------------------------===//
 
   using KeyId = uint32_t;
@@ -179,6 +198,34 @@ private:
     std::unordered_set<uint64_t> WaiterHashes;
   };
 
+  /// The complete memoized product of an engine run. Opaque to callers
+  /// except for tests and the accounting accessors: the only supported
+  /// operations are exportState() after a run and importState() into a
+  /// fresh engine built from identical (program, cluster, options)
+  /// inputs -- the SummaryCache guarantees that identity by keying
+  /// entries on a content digest of exactly those inputs.
+  struct State {
+    std::vector<KeyState> Keys;
+    std::map<std::pair<ir::LocId, uint64_t>, KeyId> KeyIndex;
+    std::map<std::pair<ir::VarId, ir::LocId>, SparseBitVector> FsciMemo;
+    uint64_t Steps = 0;
+    bool BudgetHit = false;
+    bool Approximated = false;
+
+    /// Payload-size estimate for the cache's byte gauge.
+    uint64_t approxBytes() const;
+  };
+
+  /// Deep-copies the memoized product (call after queries are done).
+  State exportState() const { return St; }
+
+  /// Installs \p S as this engine's memoized product. Only valid on an
+  /// engine constructed over the same program, cluster, and options
+  /// that produced \p S; transient scheduling state is rebuilt so
+  /// subsequent queries behave as on the original engine.
+  void importState(State S);
+
+private:
   KeyId ensureKey(ir::LocId Loc, ir::Ref R);
   void enqueue(KeyId K, TraversalTuple T);
   void addResult(KeyId K, ir::Ref Origin, const Condition &Cond);
@@ -255,8 +302,10 @@ private:
 
   std::vector<uint8_t> InSlice; ///< Location -> in St_P.
 
-  std::vector<KeyState> Keys;
-  std::map<std::pair<ir::LocId, uint64_t>, KeyId> KeyIndex;
+  /// The memoized product (see State above). Everything below it is
+  /// transient or derived.
+  State St;
+
   std::deque<KeyId> ActiveKeys;
   std::vector<uint8_t> KeyActive;
   /// Keys with fresh results whose waiters still need feeding. An
@@ -289,13 +338,8 @@ private:
   std::unordered_map<ir::LocId, std::vector<ir::LocId>> SkipPredCache;
   std::vector<uint8_t> InterestingCache; ///< 0 unknown, 1 no, 2 yes.
 
-  std::map<std::pair<ir::VarId, ir::LocId>, SparseBitVector> FsciMemo;
   std::unordered_set<uint64_t> FsciInProgress; ///< Vars being computed.
   SparseBitVector EmptySet;
-
-  uint64_t Steps = 0;
-  bool BudgetHit = false;
-  bool Approximated = false;
 };
 
 } // namespace fscs

@@ -1,0 +1,110 @@
+//===- support/ContentHash.h - 128-bit content digests ----------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed cache keys. A Digest is a 128-bit hash of whatever
+/// the caller fed into a ContentHasher; the memoization layers
+/// (core::SliceCache, fscs::SummaryCache) treat digest equality as input
+/// equality. 128 bits keep the collision probability across even
+/// billions of cached entries far below any other source of error, which
+/// is what makes "hit == recomputation" a sound claim (see DESIGN.md,
+/// "Summary-cache key derivation").
+///
+/// The mixer is two independent splitmix64 lanes seeded differently and
+/// fed the same word stream; splitmix64 is a full-period bijective
+/// finalizer, so the lanes never degenerate, and the composition is
+/// deterministic across platforms (no pointers, no ASLR, no
+/// std::hash).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_CONTENTHASH_H
+#define BSAA_SUPPORT_CONTENTHASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bsaa {
+namespace support {
+
+/// A 128-bit content digest usable as a hash-map key.
+struct Digest {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const Digest &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const Digest &O) const { return !(*this == O); }
+};
+
+/// Map hasher: the digest is already uniform, so one lane suffices.
+struct DigestHash {
+  size_t operator()(const Digest &D) const {
+    return static_cast<size_t>(D.Lo);
+  }
+};
+
+/// Streaming hasher producing a Digest.
+class ContentHasher {
+public:
+  ContentHasher() = default;
+
+  ContentHasher &u64(uint64_t V) {
+    A = mix(A ^ V);
+    B = mix(B + (V * 0x9e3779b97f4a7c15ull | 1));
+    return *this;
+  }
+  ContentHasher &u32(uint32_t V) { return u64(uint64_t(V) | (1ull << 40)); }
+  ContentHasher &i64(int64_t V) { return u64(static_cast<uint64_t>(V)); }
+  ContentHasher &boolean(bool V) { return u64(V ? 0x2545f4914f6cdd1dull : 0x9e3779b97f4a7c15ull); }
+
+  ContentHasher &bytes(const void *Data, size_t Len) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    uint64_t Word = 0;
+    size_t InWord = 0;
+    for (size_t I = 0; I < Len; ++I) {
+      Word = (Word << 8) | P[I];
+      if (++InWord == 8) {
+        u64(Word);
+        Word = 0;
+        InWord = 0;
+      }
+    }
+    // Length-prefix the tail so "ab"+"c" != "a"+"bc".
+    u64((Word << 8) | (uint64_t(Len) & 0xff));
+    return *this;
+  }
+  ContentHasher &str(const std::string &S) {
+    return bytes(S.data(), S.size());
+  }
+
+  Digest digest() const {
+    // Final avalanche so short inputs still fill both words.
+    Digest D;
+    D.Hi = mix(A + 0x632be59bd9b4e019ull);
+    D.Lo = mix(B ^ 0xd6e8feb86659fd93ull);
+    return D;
+  }
+
+private:
+  /// splitmix64 finalizer (Vigna): bijective on uint64, full avalanche.
+  static uint64_t mix(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return X ^ (X >> 31);
+  }
+
+  uint64_t A = 0x243f6a8885a308d3ull; ///< pi fractional digits.
+  uint64_t B = 0x13198a2e03707344ull;
+};
+
+} // namespace support
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_CONTENTHASH_H

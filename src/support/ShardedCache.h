@@ -1,0 +1,141 @@
+//===- support/ShardedCache.h - Content-addressed cache ---------*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe content-addressed cache shared across cluster workers.
+/// Keys are 128-bit content Digests; values are immutable once inserted
+/// and handed out as shared_ptr<const V>, so a hit never copies the
+/// payload under a lock and a concurrently cleared cache cannot pull an
+/// entry out from under a reader.
+///
+/// The bucket space is sharded by key bits with one mutex per shard:
+/// there is no global lock anywhere on the hit path, so workers
+/// analyzing different clusters only contend when their keys land in the
+/// same shard. Hit/miss/insert/byte counters are relaxed atomics --
+/// they feed the --stats-json accounting, not any synchronization.
+///
+/// Inserts are first-wins: if two workers race to publish the same key
+/// (which, keys being content hashes, means they computed identical
+/// values), the second insert is dropped. This keeps reads repeatable
+/// within a run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_SHARDEDCACHE_H
+#define BSAA_SUPPORT_SHARDEDCACHE_H
+
+#include "support/ContentHash.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace bsaa {
+namespace support {
+
+/// Cache accounting exported to stats JSON and tests.
+struct CacheCounters {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Inserts = 0;
+  uint64_t Bytes = 0; ///< Approximate payload bytes currently held.
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? double(Hits) / double(Total) : 0.0;
+  }
+};
+
+/// Sharded content-addressed map from Digest to immutable values.
+template <typename V> class ShardedCache {
+public:
+  explicit ShardedCache(size_t NumShards = 16)
+      : Shards(NumShards ? NumShards : 1) {}
+
+  /// Returns the cached value or nullptr; bumps the hit/miss counter.
+  std::shared_ptr<const V> lookup(const Digest &K) {
+    Shard &S = shardFor(K);
+    std::shared_ptr<const V> Out;
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(K);
+      if (It != S.Map.end())
+        Out = It->second;
+    }
+    if (Out)
+      Hits.fetch_add(1, std::memory_order_relaxed);
+    else
+      Misses.fetch_add(1, std::memory_order_relaxed);
+    return Out;
+  }
+
+  /// Publishes \p Val under \p K (first insert wins). \p ApproxBytes is
+  /// the caller's payload-size estimate for the byte gauge. Returns the
+  /// value now cached under the key.
+  std::shared_ptr<const V> insert(const Digest &K, V Val,
+                                  uint64_t ApproxBytes) {
+    auto Entry = std::make_shared<const V>(std::move(Val));
+    Shard &S = shardFor(K);
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto [It, New] = S.Map.emplace(K, Entry);
+      if (!New)
+        return It->second;
+    }
+    Inserts.fetch_add(1, std::memory_order_relaxed);
+    Bytes.fetch_add(ApproxBytes, std::memory_order_relaxed);
+    return Entry;
+  }
+
+  /// Drops every entry; counters keep accumulating.
+  void clear() {
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      S.Map.clear();
+    }
+    Bytes.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t size() const {
+    uint64_t N = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      N += S.Map.size();
+    }
+    return N;
+  }
+
+  CacheCounters counters() const {
+    CacheCounters C;
+    C.Hits = Hits.load(std::memory_order_relaxed);
+    C.Misses = Misses.load(std::memory_order_relaxed);
+    C.Inserts = Inserts.load(std::memory_order_relaxed);
+    C.Bytes = Bytes.load(std::memory_order_relaxed);
+    return C;
+  }
+
+private:
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<Digest, std::shared_ptr<const V>, DigestHash> Map;
+  };
+
+  Shard &shardFor(const Digest &K) {
+    // Hi is independent of the map hasher's Lo, so shard choice does
+    // not correlate with in-shard bucket placement.
+    return Shards[K.Hi % Shards.size()];
+  }
+
+  std::vector<Shard> Shards;
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Inserts{0}, Bytes{0};
+};
+
+} // namespace support
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_SHARDEDCACHE_H

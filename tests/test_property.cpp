@@ -308,3 +308,82 @@ TEST_P(RandomPrograms, CascadeAgreesWithWholeProgram) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9,
                                            10));
+
+//===--------------------------------------------------------------------===//
+// Differential oracle: bootstrapped cascade vs whole-program baseline
+//===--------------------------------------------------------------------===//
+
+// The summary cache's soundness story rests on per-cluster FSCS runs
+// being interchangeable with the whole-program analysis wherever their
+// clusters cover the query (Theorem 7). This drives a 200-seed corpus
+// through the full bootstrapped cascade -- Andersen splitting forced
+// with a tiny threshold so clustering actually happens -- and checks
+// every sampled member pointer against a whole-program baseline run
+// under a step budget standing in for the paper's timeout:
+//
+//  * baseline complete, cluster complete  -> exact set equality;
+//  * baseline complete, cluster truncated -> cluster result must still
+//    be a subset of the baseline's full set (truncation only loses
+//    origins, it never invents them);
+//  * baseline truncated -> no containment claim holds in either
+//    direction; the case is skipped (and counted, to ensure the budget
+//    is not silently swallowing the whole corpus).
+TEST(DifferentialOracle, BootstrappedMatchesWholeProgramOn200Seeds) {
+  uint32_t CheckedQueries = 0;
+  uint32_t SkippedIncompleteBaseline = 0;
+
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    auto P = generate(Seed);
+    ASSERT_TRUE(P != nullptr) << "seed " << Seed;
+
+    core::BootstrapOptions Opts;
+    Opts.AndersenThreshold = 4; // Force Andersen splitting.
+    core::BootstrapDriver Driver(*P, Opts);
+    const analysis::SteensgaardAnalysis &S = Driver.steensgaard();
+    std::vector<core::Cluster> Cover = Driver.buildCover();
+
+    fscs::SummaryEngine::Options BaselineOpts;
+    BaselineOpts.StepBudget = 150000;
+    core::Cluster Whole = core::wholeProgramCluster(*P);
+    fscs::ClusterAliasAnalysis WholeAA(*P, Driver.callGraph(), S, Whole,
+                                       BaselineOpts);
+
+    for (const core::Cluster &C : Cover) {
+      fscs::ClusterAliasAnalysis AA(*P, Driver.callGraph(), S, C);
+      uint32_t PerCluster = 0;
+      for (ir::VarId V : C.Members) {
+        if (!P->var(V).isPointer() || ++PerCluster > 3)
+          continue;
+        ir::FuncId Owner = P->var(V).Owner != ir::InvalidFunc
+                               ? P->var(V).Owner
+                               : P->entryFunction();
+        if (Owner == ir::InvalidFunc)
+          continue;
+        ir::LocId At = P->func(Owner).Exit;
+        auto Clustered = AA.pointsTo(V, At);
+        auto Baseline = WholeAA.pointsTo(V, At);
+        if (!Baseline.Complete) {
+          ++SkippedIncompleteBaseline;
+          continue;
+        }
+        ++CheckedQueries;
+        if (Clustered.Complete) {
+          EXPECT_EQ(Clustered.Objects, Baseline.Objects)
+              << "cluster/baseline mismatch for " << P->var(V).Name
+              << " (seed " << Seed << ")";
+        } else {
+          for (ir::VarId O : Clustered.Objects)
+            EXPECT_TRUE(std::binary_search(Baseline.Objects.begin(),
+                                           Baseline.Objects.end(), O))
+                << "truncated cluster run invented " << P->var(V).Name
+                << " -> " << P->var(O).Name << " (seed " << Seed << ")";
+        }
+      }
+    }
+  }
+
+  // The corpus must actually exercise the equality arm: if the budget
+  // swallowed everything, the test would vacuously pass.
+  EXPECT_GT(CheckedQueries, 1000u);
+  EXPECT_LT(SkippedIncompleteBaseline, CheckedQueries);
+}

@@ -1,0 +1,315 @@
+//===- tests/test_summary_cache.cpp - Cross-cluster summary cache ---------===//
+//
+// The memoization tentpole's oracle: a summary-cache hit must be
+// *bit-identical* to recomputation. Each test compares a cache-off run
+// against cold- and warm-cache runs of the same program -- per-cluster
+// metrics, global Statistics accumulations, the timing-stripped stats
+// JSON, and individual query answers through an adopted engine state --
+// sequentially and under the real thread pool (run the suite with
+// -DBSAA_TSAN=ON to let TSan watch the sharded buckets).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AliasCover.h"
+#include "core/BootstrapDriver.h"
+#include "core/RelevantStatements.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "fscs/ClusterAliasAnalysis.h"
+#include "fscs/SummaryCache.h"
+#include "support/Statistics.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsaa;
+
+namespace {
+
+std::unique_ptr<ir::Program> generate(uint64_t Seed) {
+  workload::GeneratorConfig Cfg;
+  Cfg.Seed = Seed;
+  Cfg.NumFunctions = 8;
+  Cfg.StmtsPerFunction = 10;
+  Cfg.Communities = 3;
+  Cfg.LocalsPerFunction = 3;
+  Cfg.RecursionPercent = 10;
+  frontend::Diagnostics Diags;
+  auto P = frontend::compileString(workload::generateProgram(Cfg), Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.toString();
+  return P;
+}
+
+core::BootstrapOptions baseOptions() {
+  core::BootstrapOptions Opts;
+  Opts.AndersenThreshold = 4; // Force Andersen splitting.
+  Opts.EngineOpts.StepBudget = 20000;
+  return Opts;
+}
+
+/// Everything a run reports except wall-clock and cache provenance.
+std::string replayableJson(const core::BootstrapResult &R) {
+  core::StatsJsonOptions O;
+  O.IncludeTimings = false;
+  O.IncludeCacheStats = false;
+  return core::toStatsJson(R, O);
+}
+
+/// Runs the full pipeline with a cleared global Statistics registry so
+/// the JSON's statistics section reflects exactly this run.
+core::BootstrapResult runIsolated(const ir::Program &P,
+                                  const core::BootstrapOptions &Opts) {
+  Statistics::global().clear();
+  core::BootstrapDriver Driver(P, Opts);
+  return Driver.runAll();
+}
+
+void expectSameClusterMetrics(const core::BootstrapResult &A,
+                              const core::BootstrapResult &B) {
+  ASSERT_EQ(A.Clusters.size(), B.Clusters.size());
+  for (size_t I = 0; I < A.Clusters.size(); ++I) {
+    const core::ClusterRunResult &X = A.Clusters[I];
+    const core::ClusterRunResult &Y = B.Clusters[I];
+    EXPECT_EQ(X.PointerCount, Y.PointerCount) << "cluster " << I;
+    EXPECT_EQ(X.SliceSize, Y.SliceSize) << "cluster " << I;
+    EXPECT_EQ(X.CostKey, Y.CostKey) << "cluster " << I;
+    EXPECT_EQ(X.Steps, Y.Steps) << "cluster " << I;
+    EXPECT_EQ(X.SummaryTuples, Y.SummaryTuples) << "cluster " << I;
+    EXPECT_EQ(X.SummaryKeys, Y.SummaryKeys) << "cluster " << I;
+    EXPECT_EQ(X.DepthLevels, Y.DepthLevels) << "cluster " << I;
+    EXPECT_EQ(X.FsciQueries, Y.FsciQueries) << "cluster " << I;
+    EXPECT_EQ(X.DovetailComplete, Y.DovetailComplete) << "cluster " << I;
+    EXPECT_EQ(X.BudgetHit, Y.BudgetHit) << "cluster " << I;
+    EXPECT_EQ(X.Approximated, Y.Approximated) << "cluster " << I;
+  }
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Key derivation
+//===--------------------------------------------------------------------===//
+
+TEST(SummaryCacheKey, SensitiveToEveryInput) {
+  auto P = generate(11);
+  ASSERT_TRUE(P);
+  uint64_t FP = core::programFingerprint(*P);
+
+  core::Cluster C;
+  C.Members = {1, 2, 3};
+  C.Statements = {4, 5};
+  C.TrackedRefs = {ir::Ref::direct(1), ir::Ref::deref(2)};
+  fscs::SummaryEngine::Options Opts;
+
+  support::Digest Base = fscs::clusterSummaryKey(FP, C, Opts);
+  EXPECT_EQ(Base, fscs::clusterSummaryKey(FP, C, Opts))
+      << "key must be a pure function of its inputs";
+
+  EXPECT_NE(Base, fscs::clusterSummaryKey(FP + 1, C, Opts));
+
+  core::Cluster C2 = C;
+  C2.Members.push_back(7);
+  EXPECT_NE(Base, fscs::clusterSummaryKey(FP, C2, Opts));
+
+  core::Cluster C3 = C;
+  C3.Statements.push_back(9);
+  EXPECT_NE(Base, fscs::clusterSummaryKey(FP, C3, Opts));
+
+  core::Cluster C4 = C;
+  C4.TrackedRefs.push_back(ir::Ref::deref(3));
+  EXPECT_NE(Base, fscs::clusterSummaryKey(FP, C4, Opts));
+
+  fscs::SummaryEngine::Options O2 = Opts;
+  O2.StepBudget = 123;
+  EXPECT_NE(Base, fscs::clusterSummaryKey(FP, C, O2));
+  fscs::SummaryEngine::Options O3 = Opts;
+  O3.MaxCondAtoms += 1;
+  EXPECT_NE(Base, fscs::clusterSummaryKey(FP, C, O3));
+  fscs::SummaryEngine::Options O4 = Opts;
+  O4.MaxResultsPerKey += 1;
+  EXPECT_NE(Base, fscs::clusterSummaryKey(FP, C, O4));
+  fscs::SummaryEngine::Options O5 = Opts;
+  O5.MaxDerefFanout += 1;
+  EXPECT_NE(Base, fscs::clusterSummaryKey(FP, C, O5));
+}
+
+TEST(SummaryCacheKey, ProgramFingerprintSeparatesPrograms) {
+  auto A = generate(21);
+  auto B = generate(22);
+  ASSERT_TRUE(A && B);
+  EXPECT_NE(core::programFingerprint(*A), core::programFingerprint(*B));
+  EXPECT_EQ(core::programFingerprint(*A), core::programFingerprint(*A));
+}
+
+//===--------------------------------------------------------------------===//
+// Slice cache
+//===--------------------------------------------------------------------===//
+
+TEST(SliceCache, CachedSliceEqualsRecomputation) {
+  auto P = generate(31);
+  ASSERT_TRUE(P);
+  analysis::SteensgaardAnalysis S(*P);
+  S.run();
+  core::SliceIndex Index(*P, S);
+  uint64_t FP = core::programFingerprint(*P);
+  core::SliceCache Cache;
+
+  core::Cluster Plain = core::wholeProgramCluster(*P);
+  core::Cluster Cold = Plain;
+  core::Cluster Warm = Plain;
+
+  core::attachRelevantSlice(*P, S, Plain, Index);
+  core::attachRelevantSlice(*P, S, Cold, Index, &Cache, FP);
+  core::attachRelevantSlice(*P, S, Warm, Index, &Cache, FP);
+
+  EXPECT_EQ(Plain.Statements, Cold.Statements);
+  EXPECT_EQ(Plain.TrackedRefs, Cold.TrackedRefs);
+  EXPECT_EQ(Plain.Statements, Warm.Statements);
+  EXPECT_EQ(Plain.TrackedRefs, Warm.TrackedRefs);
+
+  support::CacheCounters C = Cache.counters();
+  EXPECT_EQ(C.Misses, 1u);
+  EXPECT_EQ(C.Hits, 1u);
+  EXPECT_EQ(C.Inserts, 1u);
+  EXPECT_GT(C.Bytes, 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// Cache-on vs cache-off, sequential
+//===--------------------------------------------------------------------===//
+
+TEST(SummaryCache, HitsReplayRecomputationBitForBit) {
+  auto P = generate(41);
+  ASSERT_TRUE(P);
+
+  core::BootstrapResult Off = runIsolated(*P, baseOptions());
+  std::string OffJson = replayableJson(Off);
+  for (const core::ClusterRunResult &C : Off.Clusters)
+    EXPECT_FALSE(C.FromCache);
+
+  core::BootstrapOptions Cached = baseOptions();
+  Cached.SummaryCache = std::make_shared<fscs::SummaryCache>();
+  Cached.RelevantSliceCache = std::make_shared<core::SliceCache>();
+
+  // Cold pass: every cluster misses, computes, publishes.
+  core::BootstrapResult Cold = runIsolated(*P, Cached);
+  std::string ColdJson = replayableJson(Cold);
+  EXPECT_EQ(Cold.SummaryCacheReport.Counters.Hits, 0u);
+  EXPECT_EQ(Cold.SummaryCacheReport.Counters.Misses, Cold.Clusters.size());
+  for (const core::ClusterRunResult &C : Cold.Clusters)
+    EXPECT_FALSE(C.FromCache);
+
+  // Warm pass: every cluster replays from the cache.
+  core::BootstrapResult Warm = runIsolated(*P, Cached);
+  std::string WarmJson = replayableJson(Warm);
+  EXPECT_EQ(Warm.SummaryCacheReport.Counters.Hits, Warm.Clusters.size());
+  for (const core::ClusterRunResult &C : Warm.Clusters)
+    EXPECT_TRUE(C.FromCache);
+
+  expectSameClusterMetrics(Off, Cold);
+  expectSameClusterMetrics(Off, Warm);
+  // Byte-identical modulo wall-clock and cache provenance -- including
+  // the global Statistics section, i.e. the replayed accounting matches
+  // real accumulation exactly.
+  EXPECT_EQ(OffJson, ColdJson);
+  EXPECT_EQ(OffJson, WarmJson);
+}
+
+TEST(SummaryCache, StatsJsonReportsCacheCounters) {
+  auto P = generate(43);
+  ASSERT_TRUE(P);
+  core::BootstrapOptions Opts = baseOptions();
+  Opts.SummaryCache = std::make_shared<fscs::SummaryCache>();
+  Opts.RelevantSliceCache = std::make_shared<core::SliceCache>();
+  runIsolated(*P, Opts);
+  core::BootstrapResult Warm = runIsolated(*P, Opts);
+
+  std::string Json = core::toStatsJson(Warm);
+  EXPECT_NE(Json.find("\"summary_cache\": {\"enabled\": true"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"slice_cache\": {\"enabled\": true"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"from_cache\": true"), std::string::npos);
+  EXPECT_GT(Warm.SummaryCacheReport.Counters.hitRate(), 0.0);
+
+  // Cache-off runs advertise the sections as disabled rather than
+  // silently dropping them.
+  core::BootstrapResult Off = runIsolated(*P, baseOptions());
+  std::string OffJson = core::toStatsJson(Off);
+  EXPECT_NE(OffJson.find("\"summary_cache\": {\"enabled\": false"),
+            std::string::npos);
+}
+
+//===--------------------------------------------------------------------===//
+// Adopted state answers queries like the engine that exported it
+//===--------------------------------------------------------------------===//
+
+TEST(SummaryCache, AdoptedStateAnswersQueriesIdentically) {
+  auto P = generate(47);
+  ASSERT_TRUE(P);
+  ir::CallGraph CG(*P);
+  analysis::SteensgaardAnalysis S(*P);
+  S.run();
+  core::Cluster Whole = core::wholeProgramCluster(*P);
+
+  fscs::SummaryEngine::Options Opts;
+  Opts.StepBudget = 20000;
+  fscs::ClusterAliasAnalysis Fresh(*P, CG, S, Whole, Opts);
+  Fresh.prepare();
+
+  fscs::ClusterAliasAnalysis Adopted(*P, CG, S, Whole, Opts);
+  Adopted.adoptState(Fresh.engine().exportState(), Fresh.dovetailStats());
+
+  for (ir::VarId V = 0; V < P->numVars(); ++V) {
+    if (!P->var(V).isPointer())
+      continue;
+    ir::FuncId Owner = P->var(V).Owner != ir::InvalidFunc
+                           ? P->var(V).Owner
+                           : P->entryFunction();
+    if (Owner == ir::InvalidFunc)
+      continue;
+    ir::LocId At = P->func(Owner).Exit;
+    auto A = Fresh.pointsTo(V, At);
+    auto B = Adopted.pointsTo(V, At);
+    EXPECT_EQ(A.Objects, B.Objects) << P->var(V).Name;
+    EXPECT_EQ(A.Complete, B.Complete) << P->var(V).Name;
+  }
+  // Both engines ended in the same accounting state: the queries above
+  // advanced them in lockstep.
+  fscs::SummaryEngine::EngineStats EA = Fresh.engine().stats();
+  fscs::SummaryEngine::EngineStats EB = Adopted.engine().stats();
+  EXPECT_EQ(EA.Steps, EB.Steps);
+  EXPECT_EQ(EA.SummaryTuples, EB.SummaryTuples);
+  EXPECT_EQ(EA.Keys, EB.Keys);
+  EXPECT_EQ(EA.BudgetHit, EB.BudgetHit);
+  EXPECT_EQ(EA.Approximated, EB.Approximated);
+}
+
+//===--------------------------------------------------------------------===//
+// Cache-on vs cache-off under the thread pool
+//===--------------------------------------------------------------------===//
+
+TEST(SummaryCache, ThreadedHitsMatchSequentialRecomputation) {
+  auto P = generate(53);
+  ASSERT_TRUE(P);
+
+  core::BootstrapResult Off = runIsolated(*P, baseOptions());
+  std::string OffJson = replayableJson(Off);
+
+  core::BootstrapOptions Threaded = baseOptions();
+  Threaded.Threads = 4;
+  Threaded.SummaryCache = std::make_shared<fscs::SummaryCache>();
+  Threaded.RelevantSliceCache = std::make_shared<core::SliceCache>();
+
+  // Cold threaded pass: workers race to publish (first insert wins);
+  // warm threaded pass: workers replay concurrently from shared shards.
+  core::BootstrapResult Cold = runIsolated(*P, Threaded);
+  core::BootstrapResult Warm = runIsolated(*P, Threaded);
+
+  expectSameClusterMetrics(Off, Cold);
+  expectSameClusterMetrics(Off, Warm);
+  EXPECT_EQ(OffJson, replayableJson(Cold));
+  EXPECT_EQ(OffJson, replayableJson(Warm));
+  EXPECT_EQ(Warm.SummaryCacheReport.Counters.Hits,
+            Warm.Clusters.size() + Cold.SummaryCacheReport.Counters.Hits);
+}

@@ -6,8 +6,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/BootstrapDriver.h"
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
 #include "support/Statistics.h"
 #include "support/ThreadPool.h"
+#include "workload/ProgramGenerator.h"
 
 #include "gtest/gtest.h"
 
@@ -193,6 +197,56 @@ TEST(StatisticsJson, RendersSortedObject) {
   S.add("b", 2);
   S.add("a", 1);
   EXPECT_EQ(S.toJson(), "{\"a\": 1, \"b\": 2}");
+}
+
+//===--------------------------------------------------------------------===//
+// Determinism of the threaded pipeline
+//===--------------------------------------------------------------------===//
+
+// Two threaded runAll() invocations over the same program must report
+// byte-identical stats (timings and cache provenance excluded): the LPT
+// dispatch writes results back by discovery index and the Statistics
+// shards merge commutatively, so no scheduling interleaving may leak
+// into the observable output. This is the regression gate for the
+// PR-1 ordering guarantee and for the summary-cache replay path.
+TEST(ThreadedDeterminism, RepeatedRunsYieldIdenticalStatsJson) {
+  workload::GeneratorConfig Cfg;
+  Cfg.Seed = 97;
+  Cfg.NumFunctions = 8;
+  Cfg.StmtsPerFunction = 10;
+  Cfg.Communities = 3;
+  Cfg.LocalsPerFunction = 3;
+  Cfg.RecursionPercent = 10;
+  frontend::Diagnostics Diags;
+  auto P = frontend::compileString(workload::generateProgram(Cfg), Diags);
+  ASSERT_TRUE(P != nullptr) << Diags.toString();
+
+  core::StatsJsonOptions JsonOpts;
+  JsonOpts.IncludeTimings = false;
+  JsonOpts.IncludeCacheStats = false;
+
+  auto RunOnce = [&](bool WithCache) {
+    core::BootstrapOptions Opts;
+    Opts.AndersenThreshold = 4;
+    Opts.EngineOpts.StepBudget = 20000;
+    Opts.Threads = 4;
+    if (WithCache) {
+      Opts.SummaryCache = std::make_shared<fscs::SummaryCache>();
+      Opts.RelevantSliceCache = std::make_shared<core::SliceCache>();
+    }
+    Statistics::global().clear();
+    core::BootstrapDriver Driver(*P, Opts);
+    core::BootstrapResult R = Driver.runAll();
+    return core::toStatsJson(R, JsonOpts);
+  };
+
+  std::string First = RunOnce(false);
+  std::string Second = RunOnce(false);
+  EXPECT_EQ(First, Second);
+  // A fresh per-run cache must not perturb the observable output
+  // either (racing first-wins inserts notwithstanding).
+  EXPECT_EQ(First, RunOnce(true));
+  EXPECT_EQ(First, RunOnce(true));
 }
 
 } // namespace
