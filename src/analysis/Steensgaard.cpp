@@ -195,6 +195,24 @@ void SteensgaardAnalysis::run() {
   SolveSeconds = T.seconds();
 }
 
+void SteensgaardAnalysis::adoptSolutionFrom(
+    const SteensgaardAnalysis &Other) {
+  assert(Other.HasRun && "adopting from an unsolved analysis");
+  assert(Other.Prog.numVars() == Prog.numVars() &&
+         "adoption gate violated: variable universes differ");
+  Timer T;
+  Cells = Other.Cells;
+  Pts = Other.Pts;
+  PartitionId = Other.PartitionId;
+  Members = Other.Members;
+  Succ = Other.Succ;
+  HierNode = Other.HierNode;
+  Depth = Other.Depth;
+  GraphWasAcyclic = Other.GraphWasAcyclic;
+  HasRun = true;
+  SolveSeconds = T.seconds();
+}
+
 std::vector<VarId> SteensgaardAnalysis::pointsToVars(VarId V) const {
   assert(HasRun && "query before run()");
   std::vector<VarId> Out;

@@ -46,6 +46,16 @@ public:
   /// Solves the whole program. Must be called before any query.
   void run();
 
+  /// Adopts the solved state of \p Other instead of re-solving, leaving
+  /// this analysis answering queries against its own program. Only
+  /// sound when both programs have equal partition-relevant
+  /// fingerprints (ir::partitionRelevantFingerprint): the solved state
+  /// is a pure function of that digest's inputs, so equality makes the
+  /// copied vectors valid for this program's VarIds verbatim. The
+  /// caller is responsible for checking the gate; \p Other must have
+  /// run (or adopted) already.
+  void adoptSolutionFrom(const SteensgaardAnalysis &Other);
+
   //===--------------------------------------------------------------===//
   // Raw points-to queries
   //===--------------------------------------------------------------===//
@@ -56,6 +66,14 @@ public:
   /// True if \p A and \p B may point to a common object (both must be
   /// pointers for a meaningful answer).
   bool mayAlias(ir::VarId A, ir::VarId B) const;
+
+  /// Canonical id of \p V's pointee equivalence class: mayAlias(A, B)
+  /// is exactly pointeeClassOf(A) == pointeeClassOf(B) (for pointers).
+  /// The raw id is only meaningful within one solved instance; callers
+  /// (the scoped summary key) canonicalize before hashing.
+  uint32_t pointeeClassOf(ir::VarId V) const {
+    return Cells.find(Pts[Cells.find(V)]);
+  }
 
   //===--------------------------------------------------------------===//
   // Partitions (Section 2.1)

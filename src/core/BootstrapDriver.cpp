@@ -5,6 +5,7 @@
 #include "analysis/Andersen.h"
 #include "analysis/OneLevelFlow.h"
 #include "core/AliasCover.h"
+#include "core/ClusterDependencies.h"
 #include "core/RelevantStatements.h"
 #include "fscs/ClusterAliasAnalysis.h"
 #include "support/Statistics.h"
@@ -30,7 +31,10 @@ BootstrapDriver::BootstrapDriver(const Program &P, BootstrapOptions Opts)
 const analysis::SteensgaardAnalysis &BootstrapDriver::steensgaard() {
   if (!Steens) {
     Steens = std::make_unique<analysis::SteensgaardAnalysis>(Prog);
-    Steens->run();
+    if (Opts.AdoptSteensgaard)
+      Steens->adoptSolutionFrom(*Opts.AdoptSteensgaard);
+    else
+      Steens->run();
   }
   return *Steens;
 }
@@ -81,7 +85,75 @@ std::vector<Cluster> splitByPointsTo(const Cluster &Partition,
   return Out;
 }
 
+/// Content key of one Andersen refinement: exactly the solver's inputs.
+/// The solver sees the slice statements (as a constraint system over
+/// raw VarIds) and the member list (as the pointers to cluster); var
+/// records pin the type facts (isPointer etc.) the solver and the
+/// clusterer consult. No program fingerprint: an edit elsewhere leaves
+/// the key, and hence the cached refinement, valid.
+support::Digest andersenRefinementKey(const Program &P,
+                                      const Cluster &Part) {
+  support::ContentHasher H;
+  H.u64(0x414e4452'5346494eull); // "ANDRSFIN"
+  auto HashVar = [&](VarId V) {
+    H.u32(V);
+    if (V == InvalidVar)
+      return;
+    const Variable &Var = P.var(V);
+    H.u32(uint32_t(Var.Kind));
+    H.u32(uint32_t(Var.Base));
+    H.u32(Var.PtrDepth);
+    H.u32(Var.Owner);
+  };
+  H.u64(Part.Members.size());
+  for (VarId V : Part.Members)
+    HashVar(V);
+  H.u64(Part.Statements.size());
+  for (LocId L : Part.Statements) {
+    const Location &Loc = P.loc(L);
+    H.u32(L);
+    H.u32(uint32_t(Loc.Kind));
+    HashVar(Loc.Lhs);
+    HashVar(Loc.Rhs);
+  }
+  return H.digest();
+}
+
+uint64_t approxClusterVectorBytes(const std::vector<Cluster> &Cs) {
+  uint64_t N = sizeof(Cs);
+  for (const Cluster &C : Cs)
+    N += sizeof(Cluster) + C.Members.size() * sizeof(VarId);
+  return N;
+}
+
 } // namespace
+
+std::vector<Cluster> BootstrapDriver::refineByAndersen(const Cluster &Part) {
+  support::Digest Key{0, 0};
+  if (Opts.AndersenRefinementCache) {
+    Key = andersenRefinementKey(Prog, Part);
+    if (std::shared_ptr<const std::vector<Cluster>> Hit =
+            Opts.AndersenRefinementCache->lookup(Key)) {
+      std::vector<Cluster> Pieces = *Hit;
+      // Partition ids are artifacts of the current Steensgaard solve
+      // and may have been renumbered since the entry was inserted.
+      for (Cluster &Piece : Pieces)
+        Piece.SourcePartition = Part.SourcePartition;
+      return Pieces;
+    }
+  }
+  Timer TA;
+  analysis::AndersenAnalysis Andersen(Prog);
+  Andersen.runOn(Part.Statements);
+  std::vector<Cluster> Pieces = andersenClusters(Prog, Andersen, Part);
+  AndersenSeconds += TA.seconds();
+  if (Opts.AndersenRefinementCache) {
+    std::vector<Cluster> ToCache = Pieces;
+    uint64_t Bytes = approxClusterVectorBytes(ToCache);
+    Opts.AndersenRefinementCache->insert(Key, std::move(ToCache), Bytes);
+  }
+  return Pieces;
+}
 
 std::vector<Cluster> BootstrapDriver::buildCover() {
   const analysis::SteensgaardAnalysis &S = steensgaard();
@@ -99,8 +171,11 @@ std::vector<Cluster> BootstrapDriver::buildCover() {
       // chains are still tracked *inside* other clusters' slices.)
       continue;
     }
-    if (Size <= Opts.AndersenThreshold ||
-        Opts.AndersenThreshold == UINT32_MAX) {
+    // The size test alone implements the AndersenThreshold ==
+    // UINT32_MAX "never refine" sentinel, since no pointer count
+    // exceeds UINT32_MAX. (An explicit `== UINT32_MAX` disjunct that
+    // used to sit here was unreachable dead code.)
+    if (Size <= Opts.AndersenThreshold) {
       Cover.push_back(std::move(Part));
       continue;
     }
@@ -125,23 +200,15 @@ std::vector<Cluster> BootstrapDriver::buildCover() {
           Final.push_back(std::move(Piece));
           continue;
         }
-        Timer TA;
         attachRelevantSlice(Prog, S, Piece, Index,
                             Opts.RelevantSliceCache.get(), ProgFP);
-        analysis::AndersenAnalysis Andersen(Prog);
-        Andersen.runOn(Piece.Statements);
-        std::vector<Cluster> Sub = andersenClusters(Prog, Andersen, Piece);
-        AndersenSeconds += TA.seconds();
+        std::vector<Cluster> Sub = refineByAndersen(Piece);
         for (Cluster &SC : Sub)
           Final.push_back(std::move(SC));
       }
       Pieces = std::move(Final);
     } else {
-      Timer TA;
-      analysis::AndersenAnalysis Andersen(Prog);
-      Andersen.runOn(Part.Statements);
-      Pieces = andersenClusters(Prog, Andersen, Part);
-      AndersenSeconds += TA.seconds();
+      Pieces = refineByAndersen(Part);
     }
     for (Cluster &Piece : Pieces)
       Cover.push_back(std::move(Piece));
@@ -197,16 +264,32 @@ ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
   Timer T;
 
   support::Digest Key{0, 0};
+  support::Digest ScopeKey{0, 0};
+  const bool UseScope = Opts.SummaryCache && Opts.ScopedSummaryKeys;
+  bool ScopeKeyComputed = false;
   if (Opts.SummaryCache) {
     Key = fscs::clusterSummaryKey(ProgFP, C, Opts.EngineOpts);
-    if (std::shared_ptr<const fscs::CachedClusterRun> Hit =
-            Opts.SummaryCache->lookup(Key)) {
+    std::shared_ptr<const fscs::CachedClusterRun> Hit =
+        Opts.SummaryCache->lookup(Key);
+    if (!Hit && UseScope) {
+      // Exact-program miss: the cluster may still be untouched by
+      // whatever edit separates this program from the one that filled
+      // the cache. The dependency-scope key hashes everything the run
+      // can observe, so a hit here replays just as soundly.
+      ScopeKey = clusterScopeKey(Prog, CG, *Steens, C, Opts.EngineOpts);
+      ScopeKeyComputed = true;
+      Hit = Opts.SummaryCache->lookup(ScopeKey);
+      if (Hit) // Republish under this program's exact key.
+        Opts.SummaryCache->insertAlias(Key, Hit);
+    }
+    if (Hit) {
       // Replay the memoized run: identical metrics, identical global
       // statistics contributions, no SummaryEngine re-execution.
       fillClusterMetrics(R, Hit->Stats, Hit->Dove);
       R.FromCache = true;
       fscs::SummaryEngine::accumulateGlobalStats(Hit->Stats,
                                                  Statistics::global());
+      fscs::accumulateDovetailStats(Hit->Dove, Statistics::global());
       R.Seconds = T.seconds();
       return R;
     }
@@ -233,6 +316,9 @@ ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
   fillClusterMetrics(R, ES, AA.dovetailStats());
   // Per-thread shards make this contention-free from worker threads.
   AA.engine().accumulateGlobalStats(Statistics::global());
+  // Mirrored on the cache-hit path above so dovetail accounting in the
+  // global registry is invariant under cache replay.
+  fscs::accumulateDovetailStats(AA.dovetailStats(), Statistics::global());
 
   if (Opts.SummaryCache) {
     // Publish the complete memoized product so a future hit replays
@@ -241,7 +327,13 @@ ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
     Run.Engine = AA.engine().exportState();
     Run.Dove = AA.dovetailStats();
     Run.Stats = ES;
-    Opts.SummaryCache->insert(Key, std::move(Run));
+    std::shared_ptr<const fscs::CachedClusterRun> Stored =
+        Opts.SummaryCache->insert(Key, std::move(Run));
+    if (UseScope) {
+      if (!ScopeKeyComputed)
+        ScopeKey = clusterScopeKey(Prog, CG, *Steens, C, Opts.EngineOpts);
+      Opts.SummaryCache->insertAlias(ScopeKey, std::move(Stored));
+    }
   }
   return R;
 }
@@ -252,13 +344,14 @@ ClusterRunResult BootstrapDriver::runUnclustered() {
   return analyzeCluster(Whole);
 }
 
-BootstrapResult BootstrapDriver::runAll() {
+BootstrapResult BootstrapDriver::runAll() { return runAll(buildCover()); }
+
+BootstrapResult BootstrapDriver::runAll(std::vector<Cluster> Cover) {
   BootstrapResult Result;
 
   steensgaard();
   Result.SteensgaardSeconds = Steens->solveSeconds();
 
-  std::vector<Cluster> Cover = buildCover();
   Result.AndersenClusteringSeconds = AndersenSeconds;
   Result.OneFlowSeconds = OneFlowSecs;
   Result.NumClusters = static_cast<uint32_t>(Cover.size());

@@ -41,11 +41,23 @@
 namespace bsaa {
 namespace core {
 
+/// Memoized Andersen refinement of one oversized partition: the vector
+/// of refined sub-clusters, keyed purely by the refinement inputs
+/// (member list and content, slice statements and content) so entries
+/// survive program edits that leave the partition's slice intact.
+/// Cached clusters carry the inserting run's SourcePartition; the
+/// driver restamps it on every hit because partition ids are artifacts
+/// of one Steensgaard solve.
+using RefinementCache = support::ShardedCache<std::vector<Cluster>>;
+
 /// Pipeline configuration.
 struct BootstrapOptions {
   /// Steensgaard partitions with more pointers than this get refined by
   /// bootstrapped Andersen clustering (the paper's empirical 60).
-  /// UINT32_MAX disables Andersen clustering entirely.
+  /// UINT32_MAX is the "never refine" sentinel: no pointer count
+  /// exceeds it, so the size test alone implements it -- Andersen
+  /// clustering is disabled entirely and every nonempty partition
+  /// reaches the FSCS stage whole.
   uint32_t AndersenThreshold = 60;
 
   /// Cascade Das One-Level Flow between Steensgaard and Andersen:
@@ -81,6 +93,28 @@ struct BootstrapOptions {
   /// Algorithm-1 result memoization (null = disabled), keyed the same
   /// way by (program fingerprint, member list).
   std::shared_ptr<SliceCache> RelevantSliceCache;
+
+  /// Andersen refinement memoization for oversized partitions (null =
+  /// disabled). Consulted only on the pure-Andersen paths; the key is
+  /// content-addressed over the actual solver inputs, so it is sound
+  /// on the One-Flow fall-through pieces too.
+  std::shared_ptr<RefinementCache> AndersenRefinementCache;
+
+  /// Additionally key summary-cache entries by the cluster's
+  /// *dependency scope* (core/ClusterDependencies.h), not just the
+  /// whole-program fingerprint. Scope keys survive edits outside a
+  /// cluster's dependency cone, which is what makes re-analysis after
+  /// a program edit incremental. Requires SummaryCache; ignored
+  /// without one.
+  bool ScopedSummaryKeys = false;
+
+  /// Solved Steensgaard instance (over a previous program version) to
+  /// adopt instead of re-solving. The caller MUST have verified the
+  /// adoption gate -- equal ir::partitionRelevantFingerprint on both
+  /// programs (see SteensgaardAnalysis::adoptSolutionFrom). The
+  /// pointee must outlive this driver's steensgaard() call. Null =
+  /// solve normally.
+  const analysis::SteensgaardAnalysis *AdoptSteensgaard = nullptr;
 };
 
 /// Per-cluster FSCS outcome.
@@ -156,6 +190,12 @@ public:
   /// remaining jobs drain and the first exception is rethrown here.
   BootstrapResult runAll();
 
+  /// Same pipeline over a cover the caller already built with
+  /// buildCover() -- the incremental driver builds the cover once to
+  /// derive its invalidation prediction and then analyzes it here
+  /// without paying for cover construction twice.
+  BootstrapResult runAll(std::vector<Cluster> Cover);
+
   /// The "no clustering" baseline: one whole-program cluster.
   ClusterRunResult runUnclustered();
 
@@ -173,6 +213,10 @@ public:
   double oneFlowSeconds() const { return OneFlowSecs; }
 
 private:
+  /// Andersen refinement of one oversized cluster, memoized through
+  /// Opts.AndersenRefinementCache when attached.
+  std::vector<Cluster> refineByAndersen(const Cluster &Part);
+
   const ir::Program &Prog;
   BootstrapOptions Opts;
   ir::CallGraph CG;

@@ -1,0 +1,301 @@
+//===- core/ClusterDependencies.cpp - Cluster dependency scopes -----------===//
+
+#include "core/ClusterDependencies.h"
+
+#include "analysis/Steensgaard.h"
+#include "support/SparseBitVector.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace bsaa;
+using namespace bsaa::core;
+using namespace bsaa::ir;
+
+std::vector<FuncId> core::dependentFunctions(const Program &P,
+                                             const CallGraph &CG,
+                                             const Cluster &C) {
+  uint32_t N = P.numFuncs();
+  std::vector<uint8_t> InD(N, 0);
+  std::vector<FuncId> WL;
+  auto Add = [&](FuncId F) {
+    if (F != InvalidFunc && F < N && !InD[F]) {
+      InD[F] = 1;
+      WL.push_back(F);
+    }
+  };
+  // R: where traversals start. Global queries anchor at the entry
+  // function; member / tracked-ref owners and slice-statement owners
+  // are where update sequences live.
+  Add(P.entryFunction());
+  for (LocId L : C.Statements)
+    Add(P.loc(L).Owner);
+  for (VarId V : C.Members)
+    Add(P.var(V).Owner);
+  for (const Ref &R : C.TrackedRefs)
+    if (R.valid())
+      Add(P.var(R.Var).Owner);
+  // callers*(R): unresolved origins propagate upward through every
+  // transitive caller (summary splicing and the FSCI caller walk).
+  while (!WL.empty()) {
+    FuncId F = WL.back();
+    WL.pop_back();
+    for (FuncId Caller : CG.callers(F))
+      Add(Caller);
+  }
+  std::vector<FuncId> Out;
+  for (FuncId F = 0; F < N; ++F)
+    if (InD[F])
+      Out.push_back(F);
+  return Out;
+}
+
+namespace {
+
+/// Identity + type record of one variable, by raw id (a key hit must
+/// certify cached VarIds verbatim).
+void hashVarRecord(support::ContentHasher &H, const Program &P, VarId V) {
+  H.u32(V);
+  const Variable &Var = P.var(V);
+  H.u32(uint32_t(Var.Kind));
+  H.u32(uint32_t(Var.Base));
+  H.u32(Var.PtrDepth);
+  H.u32(Var.Owner);
+}
+
+} // namespace
+
+support::Digest
+core::clusterScopeKey(const Program &P, const CallGraph &CG,
+                      const analysis::SteensgaardAnalysis &Steens,
+                      const Cluster &C,
+                      const fscs::SummaryEngine::Options &Opts) {
+  support::ContentHasher H;
+  H.u64(0x53434f50'454b4559ull); // "SCOPEKEY"
+
+  H.u64(Opts.MaxCondAtoms);
+  H.u64(Opts.MaxResultsPerKey);
+  H.u64(Opts.StepBudget);
+  H.u64(Opts.MaxDerefFanout);
+
+  // Cluster identity, raw (same fields as the exact-program key).
+  H.u64(C.Members.size());
+  for (VarId V : C.Members)
+    H.u32(V);
+  H.u64(C.TrackedRefs.size());
+  for (const Ref &R : C.TrackedRefs) {
+    H.u32(R.Var);
+    H.i64(R.Deref);
+  }
+  H.u64(C.Statements.size());
+  for (LocId L : C.Statements)
+    H.u32(L);
+  H.u32(P.entryFunction());
+
+  // Full content of the dependency scope D, raw ids throughout.
+  std::vector<FuncId> D = dependentFunctions(P, CG, C);
+  H.u64(D.size());
+  for (FuncId F : D) {
+    const Function &Fn = P.func(F);
+    H.u32(F);
+    H.u32(Fn.Entry);
+    H.u32(Fn.Exit);
+    H.u32(Fn.RetVal);
+    H.u32(Fn.FuncObj);
+    H.u64(Fn.Params.size());
+    for (VarId V : Fn.Params)
+      H.u32(V);
+    H.u64(Fn.Locations.size());
+    for (LocId L : Fn.Locations) {
+      const Location &Loc = P.loc(L);
+      H.u32(L);
+      H.u32(uint32_t(Loc.Kind));
+      H.u32(Loc.Lhs);
+      H.u32(Loc.Rhs);
+      H.u32(Loc.IndirectTarget);
+      H.u64(Loc.Callees.size());
+      for (FuncId G : Loc.Callees)
+        H.u32(G);
+      H.str(Loc.CondKey);
+      H.u64(Loc.CondVars.size());
+      for (VarId V : Loc.CondVars)
+        H.u32(V);
+      H.u64(Loc.SuccArm.size());
+      for (uint8_t A : Loc.SuccArm)
+        H.u32(A);
+      H.u64(Loc.Succs.size());
+      for (LocId S : Loc.Succs)
+        H.u32(S);
+      // Preds are the transpose of Succs across the scope: derived.
+    }
+  }
+
+  // Descent decisions at call sites: reaching a call in D, the engine
+  // asks whether the callee's subtree carries slice statements and
+  // which ones (transMod aggregates the slice-local modification info
+  // of every slice owner reachable from the callee). The callee bodies
+  // themselves may be outside D; what the engine reads from them is
+  // exactly the set of reachable slice owners, so hash that set per
+  // (call site, callee). Reachability is computed bottom-up over the
+  // call-graph condensation (components are numbered callees-first).
+  const SccResult &Sccs = CG.sccs();
+  SparseBitVector SliceOwners;
+  for (LocId L : C.Statements)
+    if (P.loc(L).Owner != InvalidFunc)
+      SliceOwners.set(P.loc(L).Owner);
+  std::vector<SparseBitVector> CompReach(Sccs.numComponents());
+  std::vector<uint64_t> CompDigest(Sccs.numComponents());
+  for (uint32_t Comp = 0; Comp < Sccs.numComponents(); ++Comp) {
+    for (uint32_t F : Sccs.Members[Comp]) {
+      if (SliceOwners.test(F))
+        CompReach[Comp].set(F);
+      for (FuncId G : CG.callees(F))
+        if (Sccs.Component[G] != Comp)
+          CompReach[Comp].unionWith(CompReach[Sccs.Component[G]]);
+    }
+    support::ContentHasher CH;
+    CH.u64(CompReach[Comp].count());
+    CompReach[Comp].forEach([&](uint32_t F) { CH.u32(F); });
+    CompDigest[Comp] = CH.digest().Lo;
+  }
+  for (FuncId F : D)
+    for (LocId L : P.func(F).Locations) {
+      const Location &Loc = P.loc(L);
+      if (Loc.Kind != StmtKind::Call)
+        continue;
+      for (FuncId G : Loc.Callees) {
+        H.u32(G);
+        H.u64(CompDigest[Sccs.Component[G]]);
+      }
+    }
+
+  // Steensgaard facts the run consults. Seed vars: everything named by
+  // D's locations and signatures plus the cluster's own vars; then
+  // close partitions under the points-to successor chain (dereference
+  // enumeration walks succ partitions and their member lists) and fold
+  // the members of every closed partition back into the var set.
+  std::vector<VarId> RV;
+  auto AddVar = [&](VarId V) {
+    if (V != InvalidVar)
+      RV.push_back(V);
+  };
+  for (VarId V : C.Members)
+    AddVar(V);
+  for (const Ref &R : C.TrackedRefs)
+    AddVar(R.Var);
+  for (FuncId F : D) {
+    const Function &Fn = P.func(F);
+    for (VarId V : Fn.Params)
+      AddVar(V);
+    AddVar(Fn.RetVal);
+    AddVar(Fn.FuncObj);
+    for (LocId L : Fn.Locations) {
+      const Location &Loc = P.loc(L);
+      AddVar(Loc.Lhs);
+      AddVar(Loc.Rhs);
+      AddVar(Loc.IndirectTarget);
+      for (VarId V : Loc.CondVars)
+        AddVar(V);
+    }
+  }
+  std::sort(RV.begin(), RV.end());
+  RV.erase(std::unique(RV.begin(), RV.end()), RV.end());
+
+  std::vector<uint32_t> RP;
+  {
+    std::vector<uint8_t> InRP(Steens.numPartitions(), 0);
+    std::vector<uint32_t> PW;
+    auto AddPart = [&](uint32_t Part) {
+      if (Part != analysis::InvalidPartition && !InRP[Part]) {
+        InRP[Part] = 1;
+        PW.push_back(Part);
+      }
+    };
+    for (VarId V : RV)
+      AddPart(Steens.partitionOf(V));
+    while (!PW.empty()) {
+      uint32_t Part = PW.back();
+      PW.pop_back();
+      AddPart(Steens.pointsToPartition(Part));
+    }
+    for (uint32_t Part = 0; Part < Steens.numPartitions(); ++Part)
+      if (InRP[Part])
+        RP.push_back(Part);
+  }
+
+  // hasPred is a *global* property (anything anywhere pointing into the
+  // partition makes stores able to reach it), so it must be recorded
+  // per relevant partition even though the pointing partition may lie
+  // outside the scope.
+  std::vector<uint8_t> HasPred(Steens.numPartitions(), 0);
+  for (uint32_t Part = 0; Part < Steens.numPartitions(); ++Part) {
+    uint32_t Succ = Steens.pointsToPartition(Part);
+    if (Succ != analysis::InvalidPartition)
+      HasPred[Succ] = 1;
+  }
+
+  // Partition ids and hierarchy-node ids are solver numbering
+  // artifacts: an edit that changes the union structure *anywhere*
+  // renumbers them globally, even when the partitions relevant to this
+  // cluster are untouched. The engine only ever consumes them through
+  // equality tests (mayAlias, sameHierarchyNode) and the numeric depth,
+  // so hash a canonical form instead: order the relevant partitions by
+  // smallest member (members are raw, stable VarIds) and refer to
+  // partitions and hierarchy nodes by first-occurrence position.
+  std::sort(RP.begin(), RP.end(), [&](uint32_t A, uint32_t B) {
+    return Steens.partitionMembers(A).front() <
+           Steens.partitionMembers(B).front();
+  });
+  std::unordered_map<uint32_t, uint32_t> CanonPart, CanonNode;
+  for (uint32_t I = 0; I < RP.size(); ++I)
+    CanonPart.emplace(RP[I], I);
+  H.u64(RP.size());
+  for (uint32_t I = 0; I < RP.size(); ++I) {
+    uint32_t Part = RP[I];
+    H.u32(Steens.depthOfPartition(Part));
+    H.u32(CanonNode.emplace(Steens.hierarchyNodeOf(Part), I).first->second);
+    uint32_t Succ = Steens.pointsToPartition(Part);
+    // Succ is in RP by closure; InvalidPartition maps to a sentinel.
+    H.u32(Succ == analysis::InvalidPartition ? 0xffffffffu
+                                             : CanonPart.at(Succ));
+    H.boolean(HasPred[Part]);
+    const std::vector<VarId> &Members = Steens.partitionMembers(Part);
+    H.u64(Members.size());
+    for (VarId V : Members) {
+      H.u32(V);
+      RV.push_back(V); // Enumerated as deref candidates: type-relevant.
+    }
+  }
+
+  std::sort(RV.begin(), RV.end());
+  RV.erase(std::unique(RV.begin(), RV.end()), RV.end());
+  H.u64(RV.size());
+  for (VarId V : RV)
+    hashVarRecord(H, P, V);
+
+  // mayAlias between scope vars is pointee-*cell* equality, which is
+  // strictly finer than sharing a partition. Hash the grouping in
+  // canonical form (index of the first scope var in each cell class) --
+  // raw cell ids are meaningless across solver instances.
+  {
+    std::unordered_map<uint32_t, uint32_t> FirstInClass;
+    for (uint32_t I = 0; I < RV.size(); ++I) {
+      auto [It, Inserted] =
+          FirstInClass.emplace(Steens.pointeeClassOf(RV[I]), I);
+      H.u32(It->second);
+      (void)Inserted;
+    }
+  }
+
+  return H.digest();
+}
+
+std::vector<std::vector<uint32_t>>
+core::buildClusterDependencyIndex(const Program &P, const CallGraph &CG,
+                                  const std::vector<Cluster> &Cover) {
+  std::vector<std::vector<uint32_t>> Index(P.numFuncs());
+  for (uint32_t I = 0; I < Cover.size(); ++I)
+    for (FuncId F : dependentFunctions(P, CG, Cover[I]))
+      Index[F].push_back(I);
+  return Index;
+}

@@ -1,0 +1,81 @@
+//===- core/ClusterDependencies.h - Cluster dependency scopes ---*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependency scope of a cluster: which functions a per-cluster
+/// FSCS run can observe, and a content digest of exactly that
+/// observable region. This is what makes re-analysis after a program
+/// edit incremental: the PR-2 summary cache keys clusters under a
+/// *whole-program* fingerprint, so any edit anywhere invalidates every
+/// entry; the scoped key of this header survives edits outside the
+/// cluster's dependency scope, so unaffected clusters replay from cache
+/// across program versions.
+///
+/// The scope is derived from the cluster's Algorithm-1 slice plus the
+/// call graph. Writing R for the owners of the slice statements, the
+/// members, and the tracked refs (plus the entry function, where global
+/// queries anchor), the engine can only ever visit functions in
+///
+///   D = R  u  callers*(R)
+///
+/// -- it starts traversals at member owners / the entry, walks
+/// intra-function CFGs, ascends to callers (all in callers*), and
+/// descends into a callee only when the callee's subtree contains slice
+/// statements, i.e. the callee is an ancestor of a slice owner and
+/// hence already in D. clusterScopeKey hashes the full content of D
+/// (with raw ids: a hit must guarantee the cached engine state's
+/// VarIds/LocIds are valid verbatim), the Steensgaard facts reachable
+/// from the cluster, and the per-call-site "which slice owners does
+/// this callee reach" sets that decide descent. See DESIGN.md,
+/// "Delta fingerprinting and invalidation soundness".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_CORE_CLUSTERDEPENDENCIES_H
+#define BSAA_CORE_CLUSTERDEPENDENCIES_H
+
+#include "core/Cluster.h"
+#include "fscs/SummaryEngine.h"
+#include "ir/CallGraph.h"
+#include "support/ContentHash.h"
+
+#include <vector>
+
+namespace bsaa {
+namespace analysis {
+class SteensgaardAnalysis;
+} // namespace analysis
+
+namespace core {
+
+/// The functions a FSCS run over \p C can observe (sorted by id):
+/// owners of slice statements / members / tracked refs, the entry
+/// function, and every transitive caller thereof.
+std::vector<ir::FuncId> dependentFunctions(const ir::Program &P,
+                                           const ir::CallGraph &CG,
+                                           const Cluster &C);
+
+/// Content digest of everything a per-cluster FSCS run reads (see file
+/// comment). Key equality across two (program, Steensgaard) versions
+/// implies the engine observes identical inputs in both, so a cached
+/// run replays bit-identically.
+support::Digest clusterScopeKey(const ir::Program &P,
+                                const ir::CallGraph &CG,
+                                const analysis::SteensgaardAnalysis &Steens,
+                                const Cluster &C,
+                                const fscs::SummaryEngine::Options &Opts);
+
+/// Inverted dependency index over a cover: entry F lists the indices of
+/// the clusters in \p Cover whose dependency scope contains function F.
+/// An edit to F can only change the results of exactly those clusters.
+std::vector<std::vector<uint32_t>>
+buildClusterDependencyIndex(const ir::Program &P, const ir::CallGraph &CG,
+                            const std::vector<Cluster> &Cover);
+
+} // namespace core
+} // namespace bsaa
+
+#endif // BSAA_CORE_CLUSTERDEPENDENCIES_H

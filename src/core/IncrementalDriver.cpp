@@ -1,0 +1,107 @@
+//===- core/IncrementalDriver.cpp - Fingerprint-keyed re-analysis ---------===//
+
+#include "core/IncrementalDriver.h"
+
+#include "core/ClusterDependencies.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <set>
+#include <utility>
+
+using namespace bsaa;
+using namespace bsaa::core;
+using namespace bsaa::ir;
+
+IncrementalDriver::IncrementalDriver(BootstrapOptions Opts)
+    : BaseOpts(std::move(Opts)) {
+  if (!BaseOpts.SummaryCache)
+    BaseOpts.SummaryCache = std::make_shared<fscs::SummaryCache>();
+  if (!BaseOpts.AndersenRefinementCache)
+    BaseOpts.AndersenRefinementCache = std::make_shared<RefinementCache>();
+  BaseOpts.ScopedSummaryKeys = true;
+}
+
+const BootstrapResult &
+IncrementalDriver::update(std::unique_ptr<ir::Program> NewProg,
+                          UpdateReport *Report) {
+  Timer T;
+  std::vector<FunctionFingerprint> NewFPs = functionFingerprints(*NewProg);
+  ProgramDelta Delta = computeDelta(FuncFPs, NewFPs);
+  uint64_t NewPartitionFP = partitionRelevantFingerprint(*NewProg);
+
+  BootstrapOptions Opts = BaseOpts;
+  // Adoption gate: the Steensgaard solution is a pure function of the
+  // partition-relevant fingerprint's inputs, so equality makes the
+  // previous solve valid verbatim for the new program.
+  bool Adopt = Driver != nullptr && PartitionFP == NewPartitionFP;
+  if (Adopt)
+    Opts.AdoptSteensgaard = &Driver->steensgaard();
+
+  // Each update's statistics describe exactly that version (and match
+  // a cold run that clears the registry the same way).
+  Statistics::global().clear();
+
+  // The previous driver (and the Steensgaard instance being adopted
+  // from) must stay alive until the new pipeline has run.
+  auto NewDriver = std::make_unique<BootstrapDriver>(*NewProg, Opts);
+  NewDriver->steensgaard();
+  std::vector<Cluster> Cover = NewDriver->buildCover();
+
+  if (Report) {
+    Report->ChangedFunctions.clear();
+    Report->AddedFunctions.clear();
+    Report->RemovedFunctions.clear();
+    if (Driver) {
+      Report->ChangedFunctions = Delta.Changed;
+      Report->AddedFunctions = Delta.Added;
+      Report->RemovedFunctions = Delta.Removed;
+    }
+    Report->SteensgaardAdopted = Adopt;
+
+    // Predicted invalidation: clusters whose dependency cone contains
+    // an edited function, straight from the inverted index.
+    std::set<uint32_t> Invalid;
+    if (Driver) {
+      std::vector<std::vector<uint32_t>> Index = buildClusterDependencyIndex(
+          *NewProg, NewDriver->callGraph(), Cover);
+      auto MarkByName = [&](const std::vector<std::string> &Names) {
+        for (const std::string &Name : Names) {
+          FuncId F = NewProg->findFunction(Name);
+          if (F == InvalidFunc)
+            continue;
+          for (uint32_t Idx : Index[F])
+            Invalid.insert(Idx);
+        }
+      };
+      MarkByName(Delta.Changed);
+      MarkByName(Delta.Added);
+    }
+    Report->PredictedInvalidated = static_cast<uint32_t>(Invalid.size());
+  }
+
+  BootstrapResult NewResult = NewDriver->runAll(std::move(Cover));
+
+  if (Report) {
+    Report->NumClusters = NewResult.NumClusters;
+    Report->ClustersReanalyzed = 0;
+    Report->ClustersFromCache = 0;
+    for (const ClusterRunResult &C : NewResult.Clusters) {
+      if (C.FromCache)
+        ++Report->ClustersFromCache;
+      else
+        ++Report->ClustersReanalyzed;
+    }
+  }
+
+  // Commit the new version; the old driver and program die here.
+  Driver = std::move(NewDriver);
+  Prog = std::move(NewProg);
+  Result = std::move(NewResult);
+  FuncFPs = std::move(NewFPs);
+  PartitionFP = NewPartitionFP;
+
+  if (Report)
+    Report->Seconds = T.seconds();
+  return Result;
+}

@@ -154,7 +154,10 @@ bool Lowering::collectFunctions() {
       Diags.error(FD->Pos, "returning a struct by value is not supported");
       continue;
     }
-    ir::FuncId Id = Prog->addFunction(Name);
+    // Boundary locations are deferred to lowerFunctionBody so that each
+    // function's location ids are contiguous in lowering order; see
+    // Program::addFunction.
+    ir::FuncId Id = Prog->addFunction(Name, /*MaterializeBoundary=*/false);
     FuncIds[Name] = Id;
     ir::Function &F = Prog->func(Id);
 
@@ -388,6 +391,7 @@ ir::VarId Lowering::makeAllocSite(ScalarType PointeeType) {
 void Lowering::lowerFunctionBody(const FunctionDecl &FD) {
   CurFunc = FuncIds[FD.Name];
   CurFuncDecl = &FD;
+  Prog->materializeBoundary(CurFunc);
   ir::Function &F = Prog->func(CurFunc);
 
   pushScope();
@@ -1277,6 +1281,7 @@ std::unique_ptr<ir::Program> Lowering::run() {
     if (!FD->IsDefinition) {
       // Prototype-only functions get an empty body: entry -> exit. Calls
       // to them behave as no-ops on aliases (see DESIGN.md).
+      Prog->materializeBoundary(FuncIds[Name]);
       ir::Function &F = Prog->func(FuncIds[Name]);
       Prog->addEdge(F.Entry, F.Exit);
       continue;

@@ -1,0 +1,84 @@
+//===- frontend/SourceFingerprint.cpp - Source-level fingerprints ---------===//
+
+#include "frontend/SourceFingerprint.h"
+
+#include "frontend/Diagnostics.h"
+#include "frontend/Lexer.h"
+
+using namespace bsaa;
+using namespace bsaa::frontend;
+
+namespace {
+
+void hashToken(support::ContentHasher &H, const Token &T) {
+  H.u32(uint32_t(T.Kind));
+  if (!T.Text.empty())
+    H.str(T.Text);
+}
+
+} // namespace
+
+std::vector<ir::FunctionFingerprint>
+frontend::sourceFingerprints(std::string_view Source) {
+  Diagnostics Diags;
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Toks = Lex.lexAll();
+
+  support::ContentHasher Globals;
+  Globals.u64(0x534f5552'43454650ull); // "SOURCEFP"
+  std::vector<ir::FunctionFingerprint> Out;
+  Out.push_back({GlobalsChunkName, support::Digest{}});
+
+  // Top-level walk: tokens accumulate as a pending header until either a
+  // ';' closes a declaration (-> globals chunk) or a '{' opens a
+  // function body (-> a named function chunk through the matching '}').
+  std::vector<const Token *> Pending;
+  size_t I = 0;
+  while (I < Toks.size() && !Toks[I].is(TokKind::Eof)) {
+    const Token &T = Toks[I];
+    if (T.is(TokKind::Semi)) {
+      for (const Token *P : Pending)
+        hashToken(Globals, *P);
+      hashToken(Globals, T);
+      Pending.clear();
+      ++I;
+      continue;
+    }
+    if (!T.is(TokKind::LBrace)) {
+      Pending.push_back(&T);
+      ++I;
+      continue;
+    }
+    // Struct declarations brace at top level too; only headers with a
+    // '(' preceded by an identifier are function definitions.
+    std::string Name;
+    for (size_t J = 1; J < Pending.size(); ++J)
+      if (Pending[J]->is(TokKind::LParen) &&
+          Pending[J - 1]->is(TokKind::Ident)) {
+        Name = Pending[J - 1]->Text;
+        break;
+      }
+    support::ContentHasher Fn;
+    Fn.u64(0x534f5552'43454650ull); // "SOURCEFP"
+    support::ContentHasher &Sink = Name.empty() ? Globals : Fn;
+    for (const Token *P : Pending)
+      hashToken(Sink, *P);
+    Pending.clear();
+    uint32_t Depth = 0;
+    do {
+      const Token &B = Toks[I];
+      if (B.is(TokKind::LBrace))
+        ++Depth;
+      else if (B.is(TokKind::RBrace))
+        --Depth;
+      hashToken(Sink, B);
+      ++I;
+    } while (I < Toks.size() && !Toks[I].is(TokKind::Eof) && Depth > 0);
+    if (!Name.empty())
+      Out.push_back({std::move(Name), Fn.digest()});
+  }
+  for (const Token *P : Pending)
+    hashToken(Globals, *P);
+  Out.front().Content = Globals.digest();
+  return Out;
+}

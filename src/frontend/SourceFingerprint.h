@@ -1,0 +1,50 @@
+//===- frontend/SourceFingerprint.h - Source-level fingerprints -*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function content fingerprints computed directly from source
+/// text, before any parsing or lowering. The incremental driver uses
+/// these as the cheapest possible edit detector: the source is lexed
+/// (comments and whitespace vanish), split into top-level chunks at
+/// brace level zero, and each function definition is hashed as its
+/// token stream. Everything outside function bodies -- globals, struct
+/// declarations, prototypes -- lands in one "<globals>" chunk.
+///
+/// The result reuses ir::FunctionFingerprint, so ir::computeDelta works
+/// on source fingerprints and IR fingerprints alike. Source
+/// fingerprints are strictly edit-detection material: equality means
+/// "the token stream is unchanged", which implies the lowered IR is
+/// unchanged, but not vice versa (renaming a local changes the source
+/// digest while IR-level digests may survive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_FRONTEND_SOURCEFINGERPRINT_H
+#define BSAA_FRONTEND_SOURCEFINGERPRINT_H
+
+#include "ir/Fingerprint.h"
+
+#include <string_view>
+#include <vector>
+
+namespace bsaa {
+namespace frontend {
+
+/// Name of the chunk holding all top-level non-function tokens.
+inline constexpr const char *GlobalsChunkName = "<globals>";
+
+/// Lexes \p Source and fingerprints every top-level function definition
+/// (by token stream) plus the "<globals>" chunk. Lex errors are
+/// tolerated: the affected bytes simply do not contribute tokens, which
+/// at worst reports a spurious change. Order: globals chunk first, then
+/// functions in definition order.
+std::vector<ir::FunctionFingerprint>
+sourceFingerprints(std::string_view Source);
+
+} // namespace frontend
+} // namespace bsaa
+
+#endif // BSAA_FRONTEND_SOURCEFINGERPRINT_H

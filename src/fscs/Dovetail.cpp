@@ -53,3 +53,11 @@ DovetailStats fscs::dovetail(SummaryEngine &Engine, const Program &P,
     Stats.Complete = false;
   return Stats;
 }
+
+void fscs::accumulateDovetailStats(const DovetailStats &S,
+                                   Statistics &Global) {
+  Global.add("fscs.dovetail-depth-levels", S.DepthLevels);
+  Global.add("fscs.dovetail-fsci-queries", S.FsciQueries);
+  if (!S.Complete)
+    Global.add("fscs.dovetail-incomplete", 1);
+}

@@ -25,6 +25,7 @@
 
 #include "core/Cluster.h"
 #include "ir/Ir.h"
+#include "support/Statistics.h"
 
 #include <cstdint>
 
@@ -57,6 +58,13 @@ struct DovetailStats {
 DovetailStats dovetail(SummaryEngine &Engine, const ir::Program &P,
                        const analysis::SteensgaardAnalysis &Steens,
                        const core::Cluster &C);
+
+/// Folds one dovetail pass's accounting into \p Global under the
+/// "fscs." prefix. The cluster driver calls this on *both* the live
+/// path and the summary-cache replay path, so the global statistics a
+/// run reports are invariant under cache hits -- the cache-on versus
+/// cache-off oracle asserts exactly that.
+void accumulateDovetailStats(const DovetailStats &S, Statistics &Global);
 
 } // namespace fscs
 } // namespace bsaa

@@ -71,6 +71,17 @@ public:
     return Cache.insert(K, std::move(Run), Bytes);
   }
 
+  /// Publishes an already-cached run under an additional key. The
+  /// incremental driver stores every run under both its exact-program
+  /// key and its dependency-scope key (core/ClusterDependencies.h);
+  /// aliasing shares the payload instead of duplicating it, and the
+  /// byte gauge is charged only once.
+  std::shared_ptr<const CachedClusterRun>
+  insertAlias(const support::Digest &K,
+              std::shared_ptr<const CachedClusterRun> Run) {
+    return Cache.insertShared(K, std::move(Run), /*ApproxBytes=*/0);
+  }
+
   support::CacheCounters counters() const { return Cache.counters(); }
   uint64_t size() const { return Cache.size(); }
   void clear() { Cache.clear(); }

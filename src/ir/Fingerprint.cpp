@@ -1,0 +1,147 @@
+//===- ir/Fingerprint.cpp - Per-function content fingerprints -------------===//
+
+#include "ir/Fingerprint.h"
+
+#include <map>
+#include <unordered_map>
+
+using namespace bsaa;
+using namespace bsaa::ir;
+
+namespace {
+
+/// Feeds a variable's shift-invariant identity into \p H: spelling,
+/// kind, type, and owning-function *name* rather than any dense id.
+/// Compiler temporaries and alloc sites are program-uniquely named by
+/// the frontend, so the spelling disambiguates them too.
+void hashVarIdentity(support::ContentHasher &H, const Program &P, VarId V) {
+  if (V == InvalidVar) {
+    H.u32(0xffffffffu);
+    return;
+  }
+  const Variable &Var = P.var(V);
+  H.str(Var.Name);
+  H.u32(uint32_t(Var.Kind));
+  H.u32(uint32_t(Var.Base));
+  H.u32(Var.PtrDepth);
+  if (Var.Owner != InvalidFunc)
+    H.str(P.func(Var.Owner).Name);
+  else
+    H.u32(0xfffffffeu);
+}
+
+} // namespace
+
+support::Digest ir::functionFingerprint(const Program &P, FuncId F) {
+  const Function &Fn = P.func(F);
+  support::ContentHasher H;
+  H.u64(0x46554e43'46505249ull); // "FUNCFPRI": domain separation.
+  H.str(Fn.Name);
+
+  // Signature.
+  H.u64(Fn.Params.size());
+  for (VarId V : Fn.Params)
+    hashVarIdentity(H, P, V);
+  hashVarIdentity(H, P, Fn.RetVal);
+  hashVarIdentity(H, P, Fn.FuncObj);
+
+  // Locations by function-local index: CFG edges are intra-function, so
+  // mapping global LocIds down to positions in Fn.Locations removes the
+  // only id-dependence the body has.
+  std::unordered_map<LocId, uint32_t> LocalIdx;
+  LocalIdx.reserve(Fn.Locations.size());
+  for (uint32_t I = 0; I < Fn.Locations.size(); ++I)
+    LocalIdx.emplace(Fn.Locations[I], I);
+  auto LocalOf = [&LocalIdx](LocId L) -> uint32_t {
+    auto It = LocalIdx.find(L);
+    return It != LocalIdx.end() ? It->second : 0xffffffffu;
+  };
+
+  H.u32(LocalOf(Fn.Entry));
+  H.u32(LocalOf(Fn.Exit));
+  H.u64(Fn.Locations.size());
+  for (LocId L : Fn.Locations) {
+    const Location &Loc = P.loc(L);
+    H.u32(uint32_t(Loc.Kind));
+    hashVarIdentity(H, P, Loc.Lhs);
+    hashVarIdentity(H, P, Loc.Rhs);
+    hashVarIdentity(H, P, Loc.IndirectTarget);
+    H.u64(Loc.Callees.size());
+    for (FuncId G : Loc.Callees)
+      H.str(P.func(G).Name);
+    H.str(Loc.CondKey);
+    H.u64(Loc.CondVars.size());
+    for (VarId V : Loc.CondVars)
+      hashVarIdentity(H, P, V);
+    H.u64(Loc.SuccArm.size());
+    for (uint8_t A : Loc.SuccArm)
+      H.u32(A);
+    H.u64(Loc.Succs.size());
+    for (LocId S : Loc.Succs)
+      H.u32(LocalOf(S));
+  }
+  return H.digest();
+}
+
+std::vector<FunctionFingerprint>
+ir::functionFingerprints(const Program &P) {
+  std::vector<FunctionFingerprint> Out;
+  Out.reserve(P.numFuncs());
+  for (FuncId F = 0; F < P.numFuncs(); ++F)
+    Out.push_back({P.func(F).Name, functionFingerprint(P, F)});
+  return Out;
+}
+
+ProgramDelta ir::computeDelta(const std::vector<FunctionFingerprint> &Old,
+                              const std::vector<FunctionFingerprint> &New) {
+  ProgramDelta D;
+  std::map<std::string, const support::Digest *> OldByName;
+  for (const FunctionFingerprint &F : Old)
+    OldByName.emplace(F.Name, &F.Content);
+  for (const FunctionFingerprint &F : New) {
+    auto It = OldByName.find(F.Name);
+    if (It == OldByName.end()) {
+      D.Added.push_back(F.Name);
+      continue;
+    }
+    if (*It->second != F.Content)
+      D.Changed.push_back(F.Name);
+    OldByName.erase(It);
+  }
+  for (const auto &[Name, Digest] : OldByName) {
+    (void)Digest;
+    D.Removed.push_back(Name);
+  }
+  return D;
+}
+
+uint64_t ir::partitionRelevantFingerprint(const Program &P) {
+  support::ContentHasher H;
+  H.u64(0x50415254'46505249ull); // "PARTFPRI": domain separation.
+  H.u32(P.numVars());
+  for (VarId V = 0; V < P.numVars(); ++V) {
+    const Variable &Var = P.var(V);
+    H.u32(Var.PtrDepth);
+    H.u32(uint32_t(Var.Base));
+  }
+  // Steensgaard folds over unification-relevant statements in LocId
+  // order; everything else (branches, calls -- their parameter copies
+  // are explicit Copy locations -- locks, nullify) is a no-op for it.
+  for (LocId L = 0; L < P.numLocs(); ++L) {
+    const Location &Loc = P.loc(L);
+    switch (Loc.Kind) {
+    case StmtKind::Copy:
+    case StmtKind::AddrOf:
+    case StmtKind::Alloc:
+    case StmtKind::Load:
+    case StmtKind::Store:
+      H.u32(uint32_t(Loc.Kind));
+      H.u32(Loc.Lhs);
+      H.u32(Loc.Rhs);
+      break;
+    default:
+      break;
+    }
+  }
+  return H.digest().Lo;
+}

@@ -1,0 +1,76 @@
+//===- ir/Fingerprint.h - Per-function content fingerprints -----*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content fingerprints for incremental re-analysis. Two granularities:
+///
+///  * functionFingerprint: a digest of one function's body that is
+///    *shift-invariant* -- variables are identified by (name, kind,
+///    type), locations by their function-local index -- so a function
+///    whose text did not change keeps its fingerprint even when an edit
+///    elsewhere renumbered every global VarId/LocId. computeDelta
+///    matches fingerprints by function name and reports exactly which
+///    functions an edit touched.
+///
+///  * partitionRelevantFingerprint: a digest of everything Steensgaard's
+///    analysis reads -- the variable table (count, pointer depths) and
+///    every unification-relevant statement (Copy/AddrOf/Alloc/Load/
+///    Store) with raw operand ids in program order. Steensgaard's solved
+///    state is a pure function of this digest, so an update whose digest
+///    is unchanged may adopt the previous solution verbatim
+///    (SteensgaardAnalysis::adoptSolutionFrom) instead of re-solving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_IR_FINGERPRINT_H
+#define BSAA_IR_FINGERPRINT_H
+
+#include "ir/Ir.h"
+#include "support/ContentHash.h"
+
+#include <string>
+#include <vector>
+
+namespace bsaa {
+namespace ir {
+
+/// One function's identity + content digest.
+struct FunctionFingerprint {
+  std::string Name;
+  support::Digest Content;
+};
+
+/// Shift-invariant content digest of \p F's signature and body (see
+/// file comment for the invariance argument).
+support::Digest functionFingerprint(const Program &P, FuncId F);
+
+/// Fingerprints for every function of \p P, indexed by FuncId.
+std::vector<FunctionFingerprint> functionFingerprints(const Program &P);
+
+/// Name-matched difference between two fingerprint sets.
+struct ProgramDelta {
+  std::vector<std::string> Changed; ///< Present in both, digest differs.
+  std::vector<std::string> Added;   ///< Only in the new program.
+  std::vector<std::string> Removed; ///< Only in the old program.
+
+  bool empty() const {
+    return Changed.empty() && Added.empty() && Removed.empty();
+  }
+};
+
+/// Diffs \p Old against \p New by function name.
+ProgramDelta computeDelta(const std::vector<FunctionFingerprint> &Old,
+                          const std::vector<FunctionFingerprint> &New);
+
+/// Digest of Steensgaard's complete input (see file comment). Raw ids on
+/// purpose: the adopted solution's vectors are indexed by VarId, so id
+/// equality is part of what the digest must guarantee.
+uint64_t partitionRelevantFingerprint(const Program &P);
+
+} // namespace ir
+} // namespace bsaa
+
+#endif // BSAA_IR_FINGERPRINT_H

@@ -184,8 +184,18 @@ public:
   /// Appends a variable; returns its dense id.
   VarId addVariable(Variable V);
 
-  /// Appends a function with entry/exit Skip locations; returns its id.
-  FuncId addFunction(std::string Name);
+  /// Appends a function; returns its id. By default the entry/exit Skip
+  /// boundary locations are created immediately; pass false to defer
+  /// them to materializeBoundary(). The frontend defers so each
+  /// function's locations (boundary included) form one contiguous id
+  /// range in body-lowering order -- which is what keeps the LocIds of
+  /// untouched functions stable when a program edit appends a function
+  /// (see workload/ProgramGenerator.h, EditKind::Append).
+  FuncId addFunction(std::string Name, bool MaterializeBoundary = true);
+
+  /// Creates the entry/exit boundary locations of \p F if deferred by
+  /// addFunction(Name, false); no-op when they already exist.
+  void materializeBoundary(FuncId F);
 
   /// Appends a location to function \p F; returns its global id. The
   /// location is *not* wired into the CFG; use addEdge.

@@ -44,23 +44,30 @@ VarId Program::addVariable(Variable V) {
   return Id;
 }
 
-FuncId Program::addFunction(std::string Name) {
+FuncId Program::addFunction(std::string Name, bool MaterializeBoundary) {
   FuncId Id = static_cast<FuncId>(Funcs.size());
   Function F;
   F.Name = std::move(Name);
   F.Id = Id;
   Funcs.push_back(std::move(F));
+  if (MaterializeBoundary)
+    materializeBoundary(Id);
+  return Id;
+}
+
+void Program::materializeBoundary(FuncId F) {
+  if (Funcs[F].Entry != InvalidLoc)
+    return;
   // Entry and exit markers so every function body has unique, statement-
   // free boundary locations (summaries are anchored on them).
   Location Entry;
   Entry.Kind = StmtKind::Skip;
-  Entry.Owner = Id;
-  Funcs[Id].Entry = addLocation(Id, std::move(Entry));
+  Entry.Owner = F;
+  Funcs[F].Entry = addLocation(F, std::move(Entry));
   Location Exit;
   Exit.Kind = StmtKind::Skip;
-  Exit.Owner = Id;
-  Funcs[Id].Exit = addLocation(Id, std::move(Exit));
-  return Id;
+  Exit.Owner = F;
+  Funcs[F].Exit = addLocation(F, std::move(Exit));
 }
 
 LocId Program::addLocation(FuncId F, Location L) {

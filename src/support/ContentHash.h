@@ -31,6 +31,34 @@
 namespace bsaa {
 namespace support {
 
+/// Vigna's splitmix64 sequence generator: a Weyl sequence through the
+/// same bijective finalizer the ContentHasher lanes use. Unlike the
+/// standard-library engines/distributions (whose draw algorithms are
+/// implementation-defined), every draw is pinned down by this header,
+/// so "same seed, same stream" holds across platforms and standard
+/// libraries. This is what the workload generator's byte-identical
+/// output promise rests on.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t X = (State += 0x9e3779b97f4a7c15ull);
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return X ^ (X >> 31);
+  }
+
+  /// Uniform-enough draw in [0, N); N == 0 yields 0. The modulo bias is
+  /// below 2^-32 for the small ranges the generator uses.
+  uint32_t below(uint32_t N) {
+    return N == 0 ? 0 : static_cast<uint32_t>(next() % N);
+  }
+
+private:
+  uint64_t State;
+};
+
 /// A 128-bit content digest usable as a hash-map key.
 struct Digest {
   uint64_t Hi = 0;

@@ -92,6 +92,25 @@ public:
     return Entry;
   }
 
+  /// Publishes an already-shared payload under \p K (first insert
+  /// wins). Lets one payload live under several keys -- e.g. an exact
+  /// program-fingerprint key and a dependency-scoped key -- without
+  /// duplicating it; \p ApproxBytes should then be 0 for the aliases.
+  std::shared_ptr<const V> insertShared(const Digest &K,
+                                        std::shared_ptr<const V> Entry,
+                                        uint64_t ApproxBytes) {
+    Shard &S = shardFor(K);
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto [It, New] = S.Map.emplace(K, Entry);
+      if (!New)
+        return It->second;
+    }
+    Inserts.fetch_add(1, std::memory_order_relaxed);
+    Bytes.fetch_add(ApproxBytes, std::memory_order_relaxed);
+    return Entry;
+  }
+
   /// Drops every entry; counters keep accumulating.
   void clear() {
     for (Shard &S : Shards) {

@@ -2,8 +2,9 @@
 
 #include "workload/ProgramGenerator.h"
 
+#include "support/ContentHash.h"
+
 #include <algorithm>
-#include <random>
 #include <sstream>
 #include <vector>
 
@@ -11,6 +12,22 @@ using namespace bsaa;
 using namespace bsaa::workload;
 
 namespace {
+
+constexpr uint64_t StructureStreamTag = 0x5354'5255'4354'5552ull; // STRUCTUR
+constexpr uint64_t OperandStreamTag = 0x4f50'4552'414e'4453ull;   // OPERANDS
+constexpr uint64_t EditStreamTag = 0x4544'4954'5354'524dull;      // EDITSTRM
+
+/// Seed of one per-function splitmix64 stream. Hashing (rather than
+/// xor-mixing) keeps distinct (function, version) pairs from colliding.
+uint64_t streamSeed(uint64_t Seed, uint64_t Tag, uint32_t Function,
+                    uint32_t Version) {
+  support::ContentHasher H;
+  H.u64(Tag);
+  H.u64(Seed);
+  H.u32(Function);
+  H.u32(Version);
+  return H.digest().Lo;
+}
 
 /// Names of the community-structured global variables.
 struct CommunityVars {
@@ -20,9 +37,23 @@ struct CommunityVars {
 };
 
 /// Generation state threaded through the emitters.
+///
+/// Randomness is split into two per-function streams:
+///
+///  * the *structure* stream decides everything that determines the
+///    statement shape -- kinds, block nesting, block lengths, call
+///    targets and guards, big-community diversion. It is seeded by the
+///    function index only, so a function's shape never changes across
+///    edits.
+///  * the *operand* stream decides which existing variable each
+///    operand slot names. It is seeded by the function index *and* the
+///    function's BodyVersion, so EditKind::Mutate (a version bump)
+///    re-draws operands under the identical shape -- the lowered
+///    program keeps every VarId/LocId, only statement operands differ.
 struct GenState {
   const GeneratorConfig &Cfg;
-  std::mt19937_64 Rng;
+  support::SplitMix64 Structure{0};
+  support::SplitMix64 Operand{0};
   std::ostringstream OS;
   std::vector<CommunityVars> Comms;
   std::vector<std::string> LockPtrs;
@@ -30,13 +61,24 @@ struct GenState {
   /// Whether function F has the pointer signature `int *fF(int *pF)`.
   std::vector<bool> PtrFunc;
 
-  explicit GenState(const GeneratorConfig &Cfg) : Cfg(Cfg), Rng(Cfg.Seed) {}
+  explicit GenState(const GeneratorConfig &Cfg) : Cfg(Cfg) {}
 
-  uint32_t pick(uint32_t N) {
-    return N == 0 ? 0 : static_cast<uint32_t>(Rng() % N);
+  /// Re-seeds both streams for function \p F at \p BodyVersion.
+  void seedFunctionStreams(uint32_t F, uint32_t BodyVersion) {
+    Structure = support::SplitMix64(
+        streamSeed(Cfg.Seed, StructureStreamTag, F, 0));
+    Operand = support::SplitMix64(
+        streamSeed(Cfg.Seed, OperandStreamTag, F, BodyVersion));
   }
-  bool chance(uint32_t Percent) { return pick(100) < Percent; }
-  bool chanceBp(uint32_t BasisPoints) { return pick(10000) < BasisPoints; }
+
+  // Structure-stream draws.
+  uint32_t pickS(uint32_t N) { return Structure.below(N); }
+  bool chanceS(uint32_t Percent) { return pickS(100) < Percent; }
+
+  // Operand-stream draws.
+  uint32_t pickO(uint32_t N) { return Operand.below(N); }
+  bool chanceO(uint32_t Percent) { return pickO(100) < Percent; }
+  bool chanceBpO(uint32_t BasisPoints) { return pickO(10000) < BasisPoints; }
 };
 
 /// Local pointer names (per function, community-tagged).
@@ -46,7 +88,7 @@ struct LocalVars {
 
 const std::string &pickName(GenState &G,
                             const std::vector<std::string> &Pool) {
-  return Pool[G.pick(static_cast<uint32_t>(Pool.size()))];
+  return Pool[G.pickO(static_cast<uint32_t>(Pool.size()))];
 }
 
 /// A random depth-1 pointer expression (global or local) of community
@@ -56,8 +98,8 @@ std::string pickPtr(GenState &G, const LocalVars &Locals, uint32_t Comm) {
   for (const auto &[Name, C] : Locals.Ptrs)
     if (C == Comm)
       LocalMatches.push_back(&Name);
-  if (!LocalMatches.empty() && G.chance(50))
-    return *LocalMatches[G.pick(
+  if (!LocalMatches.empty() && G.chanceO(50))
+    return *LocalMatches[G.pickO(
         static_cast<uint32_t>(LocalMatches.size()))];
   return pickName(G, G.Comms[Comm].Ptrs);
 }
@@ -72,10 +114,10 @@ void emitCall(GenState &G, const LocalVars &Locals, uint32_t FuncIdx,
               uint32_t NumFuncs, const std::string &Indent) {
   const GeneratorConfig &Cfg = G.Cfg;
   uint32_t Callee;
-  if (FuncIdx + 1 < NumFuncs && !G.chance(Cfg.RecursionPercent)) {
-    Callee = FuncIdx + 1 + G.pick(NumFuncs - FuncIdx - 1);
+  if (FuncIdx + 1 < NumFuncs && !G.chanceS(Cfg.RecursionPercent)) {
+    Callee = FuncIdx + 1 + G.pickS(NumFuncs - FuncIdx - 1);
   } else {
-    Callee = G.pick(FuncIdx + 1);
+    Callee = G.pickS(FuncIdx + 1);
   }
   // Backward (possibly recursive) calls are guarded so every call-graph
   // cycle has a dynamic escape: unconditionally recursive cycles would
@@ -118,11 +160,11 @@ void emitStatement(GenState &G, const LocalVars &Locals, uint32_t HomeComm,
 
   if (!PointerBody) {
     // Non-pointer function: noise, branches and calls only.
-    uint32_t Roll = G.pick(100);
+    uint32_t Roll = G.pickS(100);
     if (Roll < 15 && Depth < 2) {
-      bool While = G.chance(40);
+      bool While = G.chanceS(40);
       G.OS << Indent << (While ? "while" : "if") << " (nondet) {\n";
-      emitBlockBody(G, Locals, Comm, FuncIdx, NumFuncs, 1 + G.pick(2),
+      emitBlockBody(G, Locals, Comm, FuncIdx, NumFuncs, 1 + G.pickS(2),
                     Depth + 1, PointerBody);
       G.OS << Indent << "}\n";
     } else if (Roll < 30) {
@@ -135,15 +177,16 @@ void emitStatement(GenState &G, const LocalVars &Locals, uint32_t HomeComm,
 
   // Big communities only become big partitions if statements actually
   // unify their pointers; divert a share of every pointer function's
-  // statements into them.
-  if (Cfg.BigCommunities > 0 && G.chance(Cfg.BigCommunityStmtPercent))
-    Comm = G.pick(std::min<uint32_t>(Cfg.BigCommunities,
-                                     uint32_t(G.Comms.size())));
+  // statements into them. Shape-relevant (it picks the operand pool),
+  // so this rides the structure stream.
+  if (Cfg.BigCommunities > 0 && G.chanceS(Cfg.BigCommunityStmtPercent))
+    Comm = G.pickS(std::min<uint32_t>(Cfg.BigCommunities,
+                                      uint32_t(G.Comms.size())));
 
   uint32_t Total = Cfg.WeightAddrOf + Cfg.WeightCopy + Cfg.WeightLoad +
                    Cfg.WeightStore + Cfg.WeightCall + Cfg.WeightBranch +
                    Cfg.WeightMalloc + Cfg.WeightNoise;
-  uint32_t Roll = G.pick(Total);
+  uint32_t Roll = G.pickS(Total);
   auto TakeWeight = [&Roll](uint32_t W) {
     if (Roll < W)
       return true;
@@ -157,10 +200,13 @@ void emitStatement(GenState &G, const LocalVars &Locals, uint32_t HomeComm,
     return;
   }
   if (TakeWeight(Cfg.WeightCopy)) {
-    // Cross-community copies fuse partitions (rare by default).
+    // Cross-community copies fuse partitions (rare by default). The
+    // source community is an operand choice: a mutate edit may move a
+    // copy across communities, which is exactly the kind of edit that
+    // must invalidate the affected clusters.
     uint32_t SrcComm = Comm;
-    if (G.chanceBp(Cfg.CrossCommunityBasisPoints))
-      SrcComm = G.pick(static_cast<uint32_t>(G.Comms.size()));
+    if (G.chanceBpO(Cfg.CrossCommunityBasisPoints))
+      SrcComm = G.pickO(static_cast<uint32_t>(G.Comms.size()));
     G.OS << Indent << pickPtr(G, Locals, Comm) << " = "
          << pickPtr(G, Locals, SrcComm) << ";\n";
     return;
@@ -189,13 +235,13 @@ void emitStatement(GenState &G, const LocalVars &Locals, uint32_t HomeComm,
            << pickPtr(G, Locals, Comm) << ";\n";
       return;
     }
-    bool While = G.chance(40);
+    bool While = G.chanceS(40);
     G.OS << Indent << (While ? "while" : "if") << " (nondet) {\n";
-    emitBlockBody(G, Locals, Comm, FuncIdx, NumFuncs, 1 + G.pick(3),
+    emitBlockBody(G, Locals, Comm, FuncIdx, NumFuncs, 1 + G.pickS(3),
                   Depth + 1, PointerBody);
-    if (!While && G.chance(50)) {
+    if (!While && G.chanceS(50)) {
       G.OS << Indent << "} else {\n";
-      emitBlockBody(G, Locals, Comm, FuncIdx, NumFuncs, 1 + G.pick(2),
+      emitBlockBody(G, Locals, Comm, FuncIdx, NumFuncs, 1 + G.pickS(2),
                     Depth + 1, PointerBody);
     }
     G.OS << Indent << "}\n";
@@ -218,9 +264,132 @@ void emitLockStatements(GenState &G, const std::string &Indent) {
   G.OS << Indent << "unlock(" << L << ");\n";
 }
 
+/// A stubbed body: the minimal legal body for the signature. Stubs are
+/// version-independent on purpose -- mutating a stubbed function is a
+/// no-op, which the edit-stream generator avoids anyway.
+void emitStubBody(GenState &G, uint32_t F, bool Ptr) {
+  if (Ptr)
+    G.OS << "  return p" << F << ";\n";
+  else
+    G.OS << "  return n" << F << " + 1;\n";
+}
+
+/// One appended, fully self-contained pointer function. It references
+/// only its own locals: no calls, no globals, no parameters, no return
+/// value, so no existing partition, call-graph edge, VarId or LocId is
+/// disturbed -- appended functions extend the program strictly at the
+/// end of every id space. Two frontend facts make this work and are
+/// deliberately leaned on here:
+///
+///  * functions are numbered in lexicographic name order (std::map),
+///    so appended functions are named "x<K>" to sort after both "f<N>"
+///    and "main" -- any name sorting earlier would renumber every
+///    existing function and its entry/exit locations;
+///  * params and return values of *all* functions are numbered before
+///    globals, so the appended signature must be `void x<K>(void)` --
+///    a single parameter would splice its VarId in front of every
+///    global. Locals are numbered during body lowering (again in name
+///    order), where x<K> already comes last.
+void emitAppendedFunction(GenState &G, uint32_t Ordinal) {
+  uint32_t NumObjs = 3, NumPtrs = 3;
+  G.seedFunctionStreams(
+      static_cast<uint32_t>(G.PtrFunc.size()) + 1 + Ordinal, 0);
+  G.OS << "void x" << Ordinal << "(void) {\n";
+  std::vector<std::string> Objs, Ptrs;
+  for (uint32_t I = 0; I < NumObjs; ++I) {
+    Objs.push_back("ho" + std::to_string(I));
+    G.OS << "  int " << Objs.back() << ";\n";
+  }
+  for (uint32_t I = 0; I < NumPtrs; ++I) {
+    Ptrs.push_back("hp" + std::to_string(I));
+    G.OS << "  int *" << Ptrs.back() << ";\n";
+  }
+  uint32_t Stmts = 4 + G.pickS(4);
+  for (uint32_t I = 0; I < Stmts; ++I) {
+    uint32_t Roll = G.pickS(3);
+    const std::string &Dst = Ptrs[G.pickO(uint32_t(Ptrs.size()))];
+    if (Roll == 0)
+      G.OS << "  " << Dst << " = &"
+           << Objs[G.pickO(uint32_t(Objs.size()))] << ";\n";
+    else if (Roll == 1)
+      G.OS << "  " << Dst << " = "
+           << Ptrs[G.pickO(uint32_t(Ptrs.size()))] << ";\n";
+    else
+      G.OS << "  " << Dst << " = malloc();\n";
+  }
+  G.OS << "}\n";
+}
+
 } // namespace
 
+EditState workload::initialEditState(const GeneratorConfig &Cfg) {
+  EditState St;
+  uint32_t NumFuncs = std::max<uint32_t>(1, Cfg.NumFunctions);
+  St.BodyVersion.assign(NumFuncs, 0);
+  St.Stubbed.assign(NumFuncs, 0);
+  return St;
+}
+
+void workload::applyEdit(EditState &St, const ProgramEdit &E) {
+  switch (E.Kind) {
+  case EditKind::Mutate:
+    if (E.Function < St.BodyVersion.size())
+      ++St.BodyVersion[E.Function];
+    break;
+  case EditKind::Stub:
+    if (E.Function < St.Stubbed.size())
+      St.Stubbed[E.Function] = 1;
+    break;
+  case EditKind::Append:
+    ++St.AppendedFunctions;
+    break;
+  }
+}
+
+std::vector<ProgramEdit>
+workload::generateEditStream(const GeneratorConfig &Cfg, uint32_t NumEdits,
+                             uint64_t StreamSeed) {
+  uint32_t NumFuncs = std::max<uint32_t>(1, Cfg.NumFunctions);
+  support::SplitMix64 Rng(streamSeed(StreamSeed, EditStreamTag, 0, 0));
+  EditState St = initialEditState(Cfg);
+  std::vector<ProgramEdit> Out;
+  Out.reserve(NumEdits);
+  for (uint32_t I = 0; I < NumEdits; ++I) {
+    ProgramEdit E;
+    uint32_t Roll = Rng.below(100);
+    if (Roll < 70) {
+      E.Kind = EditKind::Mutate;
+      // Mutating a stub is a no-op; re-target (bounded tries keep this
+      // deterministic even when everything is stubbed).
+      E.Function = Rng.below(NumFuncs);
+      for (uint32_t Try = 0; Try < 8 && St.Stubbed[E.Function]; ++Try)
+        E.Function = Rng.below(NumFuncs);
+      if (St.Stubbed[E.Function])
+        E.Kind = EditKind::Append;
+    } else if (Roll < 85) {
+      E.Kind = EditKind::Stub;
+      E.Function = Rng.below(NumFuncs);
+      if (St.Stubbed[E.Function])
+        E.Kind = EditKind::Mutate; // Re-stub is a no-op; mutate instead.
+      if (St.Stubbed[E.Function])
+        E.Kind = EditKind::Append;
+    } else {
+      E.Kind = EditKind::Append;
+    }
+    if (E.Kind == EditKind::Append)
+      E.Function = St.AppendedFunctions;
+    applyEdit(St, E);
+    Out.push_back(E);
+  }
+  return Out;
+}
+
 std::string workload::generateProgram(const GeneratorConfig &Cfg) {
+  return generateProgram(Cfg, initialEditState(Cfg));
+}
+
+std::string workload::generateProgram(const GeneratorConfig &Cfg,
+                                      const EditState &St) {
   GenState G(Cfg);
   uint32_t NumComms = std::max<uint32_t>(1, Cfg.Communities);
 
@@ -282,14 +451,23 @@ std::string workload::generateProgram(const GeneratorConfig &Cfg) {
       G.OS << "int f" << F << "(int n" << F << ");\n";
   }
 
-  // Function bodies.
+  // Function bodies, each from its own pair of streams.
   for (uint32_t F = 0; F < NumFuncs; ++F) {
+    uint32_t Version = F < St.BodyVersion.size() ? St.BodyVersion[F] : 0;
+    bool Stubbed = F < St.Stubbed.size() && St.Stubbed[F];
+    G.seedFunctionStreams(F, Version);
     uint32_t Comm = F % NumComms;
     bool Ptr = G.PtrFunc[F];
     if (Ptr)
       G.OS << "int *f" << F << "(int *p" << F << ") {\n";
     else
       G.OS << "int f" << F << "(int n" << F << ") {\n";
+
+    if (Stubbed) {
+      emitStubBody(G, F, Ptr);
+      G.OS << "}\n";
+      continue;
+    }
 
     LocalVars Locals;
     if (Ptr) {
@@ -317,7 +495,11 @@ std::string workload::generateProgram(const GeneratorConfig &Cfg) {
     G.OS << "}\n";
   }
 
-  // main: seed the communities, wire lock pointers, call around.
+  // main: seed the communities, wire lock pointers, call around. main
+  // is never edited, and everything appended comes after it, so its
+  // ids -- which sit in every cluster's dependency scope -- are stable
+  // across every edit kind.
+  G.seedFunctionStreams(NumFuncs, 0);
   G.OS << "void main(void) {\n";
   for (uint32_t C = 0; C < NumComms; ++C) {
     G.OS << "  " << G.Comms[C].Ptrs[0] << " = &" << G.Comms[C].Objects[0]
@@ -338,10 +520,9 @@ std::string workload::generateProgram(const GeneratorConfig &Cfg) {
          << ");\n";
   }
 
-  LocalVars NoLocals;
   uint32_t Calls = std::max<uint32_t>(1, NumFuncs / 2);
   for (uint32_t I = 0; I < Calls; ++I) {
-    uint32_t F = G.pick(NumFuncs);
+    uint32_t F = G.pickS(NumFuncs);
     if (!G.PtrFunc[F]) {
       G.OS << "  f" << F << "(0);\n";
       continue;
@@ -353,5 +534,9 @@ std::string workload::generateProgram(const GeneratorConfig &Cfg) {
   if (Cfg.LockPointers)
     emitLockStatements(G, "  ");
   G.OS << "}\n";
+
+  // Appended functions: strictly after main (see emitAppendedFunction).
+  for (uint32_t K = 0; K < St.AppendedFunctions; ++K)
+    emitAppendedFunction(G, K);
   return G.OS.str();
 }

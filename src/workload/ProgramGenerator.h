@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace bsaa {
 namespace workload {
@@ -102,9 +103,78 @@ struct GeneratorConfig {
   bool Structs = false;
 };
 
+//===----------------------------------------------------------------===//
+// Edit streams (incremental-analysis workloads)
+//===----------------------------------------------------------------===//
+
+/// One synthetic program edit.
+enum class EditKind : uint8_t {
+  /// Re-draw the operand choices of one function's body while keeping
+  /// its statement *shape* (kinds, block structure, call targets)
+  /// fixed. Because the shape is what determines how many variables,
+  /// temporaries and locations lowering creates, a mutate edit leaves
+  /// every VarId/LocId in the program stable -- the edit the
+  /// incremental driver can exploit maximally.
+  Mutate,
+  /// Replace one function's body with a minimal stub. Shrinks the
+  /// body, so every id downstream of the function shifts: the
+  /// worst-case edit, forcing a conservative full re-analysis.
+  Stub,
+  /// Append a new self-contained function. It calls nothing, is called
+  /// by nobody, and touches only its own locals, so no existing id or
+  /// call-graph edge moves (it is named and shaped to land at the end
+  /// of the frontend's function/variable/location numbering).
+  Append,
+};
+
+/// One edit of an edit stream.
+struct ProgramEdit {
+  EditKind Kind = EditKind::Mutate;
+  /// Mutate/Stub: index of the edited function (0..NumFunctions-1;
+  /// main is never edited). Append: ordinal of the appended function.
+  uint32_t Function = 0;
+};
+
+/// Accumulated edit state: which version of each function body to emit.
+struct EditState {
+  /// Operand-stream version per original function (0 = pristine).
+  std::vector<uint32_t> BodyVersion;
+  /// Functions replaced by stubs.
+  std::vector<uint8_t> Stubbed;
+  /// Self-contained functions appended after main.
+  uint32_t AppendedFunctions = 0;
+};
+
+/// Pristine edit state for \p Config (all versions 0, nothing stubbed
+/// or appended).
+EditState initialEditState(const GeneratorConfig &Config);
+
+/// Applies one edit to \p State.
+void applyEdit(EditState &State, const ProgramEdit &Edit);
+
+/// Deterministic stream of \p NumEdits edits (roughly 70% mutate, 15%
+/// stub, 15% append; mutate never targets a stubbed function, main is
+/// never edited). \p StreamSeed is independent of Config.Seed so the
+/// same program can be driven through different edit sequences.
+std::vector<ProgramEdit> generateEditStream(const GeneratorConfig &Config,
+                                            uint32_t NumEdits,
+                                            uint64_t StreamSeed);
+
 /// Generates mini-C source text for \p Config. Same config (including
-/// seed) always yields byte-identical output.
+/// seed) always yields byte-identical output on every platform: all
+/// randomness comes from splitmix64 streams (support/ContentHash.h),
+/// never from implementation-defined std facilities.
 std::string generateProgram(const GeneratorConfig &Config);
+
+/// Generates the program as it looks after the edits accumulated in
+/// \p State. generateProgram(Cfg) == generateProgram(Cfg,
+/// initialEditState(Cfg)). Per-function randomness is split into a
+/// *structure* stream (seeded by the function index only) and an
+/// *operand* stream (seeded by the function index and its
+/// BodyVersion), which is what gives EditKind::Mutate its
+/// shape-stability guarantee.
+std::string generateProgram(const GeneratorConfig &Config,
+                            const EditState &State);
 
 } // namespace workload
 } // namespace bsaa

@@ -160,6 +160,33 @@ TEST(BootstrapDriver, CoverRespectsThreshold) {
     EXPECT_NE(C.SourcePartition, UINT32_MAX);
 }
 
+TEST(BootstrapDriver, ThresholdSentinelNeedsNoSpecialCase) {
+  // Regression for the removed `AndersenThreshold == UINT32_MAX` early-
+  // out: the size comparison alone must implement the "never refine"
+  // sentinel. Cluster counts are monotone in the threshold, and with
+  // the sentinel the Andersen stage must never run at all.
+  auto P = compileOk(CoverProgram);
+  auto CountAt = [&](uint32_t Threshold) {
+    BootstrapOptions Opts;
+    Opts.AndersenThreshold = Threshold;
+    BootstrapDriver Driver(*P, Opts);
+    BootstrapResult R = Driver.runAll();
+    return std::make_pair(R.NumClusters, R.AndersenClusteringSeconds);
+  };
+  auto [AtZero, SecsZero] = CountAt(0);
+  auto [AtSixty, SecsSixty] = CountAt(60);
+  auto [AtMax, SecsMax] = CountAt(UINT32_MAX);
+  EXPECT_GE(AtZero, AtSixty);
+  EXPECT_GE(AtSixty, AtMax);
+  EXPECT_GT(AtMax, 0u);
+  // Threshold 0 refines every nonempty partition; the sentinel refines
+  // nothing, so the clustering stage does zero work (its timer never
+  // even starts -- a special case would have left a nonzero blip).
+  EXPECT_EQ(SecsMax, 0.0);
+  (void)SecsZero;
+  (void)SecsSixty;
+}
+
 TEST(BootstrapDriver, ClusteredMatchesUnclusteredAliases) {
   // The headline soundness claim end to end: per-cluster FSCS results
   // agree with the whole-program FSCS run, for every member pointer at

@@ -240,6 +240,50 @@ TEST(SummaryCache, StatsJsonReportsCacheCounters) {
             std::string::npos);
 }
 
+TEST(SummaryCache, DovetailStatsReplayedOnHits) {
+  // Regression for the dovetail accounting on cache hits: a replayed
+  // cluster must re-accumulate the dovetail statistics its original
+  // run published, or warm runs under-report
+  // fscs.dovetail-depth-levels / -fsci-queries and the stats JSON
+  // diverges from recomputation.
+  auto P = generate(59);
+  ASSERT_TRUE(P);
+
+  auto DovetailCounters = [] {
+    std::pair<uint64_t, uint64_t> Out{0, 0};
+    for (const auto &[Name, Value] : Statistics::global().snapshot()) {
+      if (Name == "fscs.dovetail-depth-levels")
+        Out.first = Value;
+      else if (Name == "fscs.dovetail-fsci-queries")
+        Out.second = Value;
+    }
+    return Out;
+  };
+
+  runIsolated(*P, baseOptions());
+  auto Off = DovetailCounters();
+  // Non-vacuous: the workload actually exercises the dovetail.
+  ASSERT_GT(Off.first, 0u);
+  ASSERT_GT(Off.second, 0u);
+
+  core::BootstrapOptions Cached = baseOptions();
+  Cached.SummaryCache = std::make_shared<fscs::SummaryCache>();
+  core::BootstrapResult Cold = runIsolated(*P, Cached);
+  auto ColdCounters = DovetailCounters();
+  core::BootstrapResult Warm = runIsolated(*P, Cached);
+  auto WarmCounters = DovetailCounters();
+  EXPECT_EQ(Warm.SummaryCacheReport.Counters.Hits, Warm.Clusters.size());
+
+  EXPECT_EQ(Off, ColdCounters);
+  EXPECT_EQ(Off, WarmCounters);
+  // The per-cluster view agrees with the registry view.
+  uint64_t FromClusters = 0;
+  for (const core::ClusterRunResult &C : Warm.Clusters)
+    FromClusters += C.FsciQueries;
+  EXPECT_EQ(FromClusters, WarmCounters.second);
+  (void)Cold;
+}
+
 //===--------------------------------------------------------------------===//
 // Adopted state answers queries like the engine that exported it
 //===--------------------------------------------------------------------===//

@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/ContentHash.h"
 #include "support/GraphWriter.h"
 #include "support/Scc.h"
 #include "support/SparseBitVector.h"
@@ -202,6 +203,79 @@ TEST(SparseBitVector, EqualityAndHash) {
   EXPECT_NE(A, B);
 }
 
+TEST(SparseBitVector, WordBoundaryBits) {
+  // Bits 63/64/65 straddle the first 64-bit chunk boundary -- the spot
+  // where an off-by-one in chunk indexing or masking shows up.
+  SparseBitVector V;
+  for (uint32_t B : {63u, 64u, 65u}) {
+    EXPECT_TRUE(V.set(B)) << "bit " << B;
+    EXPECT_FALSE(V.set(B)) << "bit " << B;
+    EXPECT_TRUE(V.test(B)) << "bit " << B;
+  }
+  EXPECT_EQ(V.count(), 3u);
+  EXPECT_FALSE(V.test(62));
+  EXPECT_FALSE(V.test(66));
+  std::vector<uint32_t> Expected = {63, 64, 65};
+  EXPECT_EQ(V.toVector(), Expected);
+  EXPECT_TRUE(V.reset(64));
+  EXPECT_TRUE(V.test(63));
+  EXPECT_FALSE(V.test(64));
+  EXPECT_TRUE(V.test(65));
+
+  // Union / intersection across the same boundary.
+  SparseBitVector A, B;
+  A.set(63);
+  B.set(64);
+  EXPECT_FALSE(A.intersects(B));
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_TRUE(A.test(63));
+  EXPECT_TRUE(A.test(64));
+  SparseBitVector C;
+  C.set(64);
+  C.set(127);
+  C.set(128);
+  EXPECT_TRUE(A.intersectWith(C));
+  EXPECT_EQ(A.toVector(), std::vector<uint32_t>{64});
+}
+
+TEST(SparseBitVector, EmptyOperandIdentities) {
+  SparseBitVector A, Empty;
+  A.set(5);
+  A.set(64);
+  // x U {} = x (unchanged), x & {} = {} (changed iff x nonempty).
+  EXPECT_FALSE(A.unionWith(Empty));
+  EXPECT_EQ(A.count(), 2u);
+  SparseBitVector B = A;
+  EXPECT_TRUE(B.intersectWith(Empty));
+  EXPECT_TRUE(B.empty());
+  EXPECT_FALSE(B.intersectWith(Empty)); // Already empty: no change.
+  // {} U x = x.
+  SparseBitVector D;
+  EXPECT_TRUE(D.unionWith(A));
+  EXPECT_EQ(D, A);
+  EXPECT_FALSE(Empty.intersects(A));
+  EXPECT_FALSE(A.intersects(SparseBitVector()));
+  EXPECT_TRUE(Empty.isSubsetOf(Empty));
+  EXPECT_FALSE(A.isSubsetOf(Empty));
+}
+
+TEST(SparseBitVector, IterationAfterClear) {
+  SparseBitVector V;
+  for (uint32_t B : {0u, 63u, 64u, 700u})
+    V.set(B);
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.count(), 0u);
+  EXPECT_TRUE(V.toVector().empty());
+  uint32_t Visited = 0;
+  V.forEach([&](uint32_t) { ++Visited; });
+  EXPECT_EQ(Visited, 0u);
+  // The vector is fully reusable after clear().
+  EXPECT_TRUE(V.set(64));
+  EXPECT_EQ(V.count(), 1u);
+  EXPECT_EQ(V.toVector(), std::vector<uint32_t>{64});
+}
+
 TEST(SparseBitVector, RandomizedAgainstStdSet) {
   std::mt19937 Rng(7);
   SparseBitVector V;
@@ -217,6 +291,34 @@ TEST(SparseBitVector, RandomizedAgainstStdSet) {
   std::vector<uint32_t> Got = V.toVector();
   std::vector<uint32_t> Want(Model.begin(), Model.end());
   EXPECT_EQ(Got, Want);
+}
+
+//===--------------------------------------------------------------------===//
+// SplitMix64
+//===--------------------------------------------------------------------===//
+
+TEST(SplitMix64, MatchesReferenceSequence) {
+  // Reference values of Vigna's splitmix64 (the published test vector
+  // for seed 0). The program generator's cross-platform determinism
+  // rests on this exact sequence.
+  support::SplitMix64 R0(0);
+  EXPECT_EQ(R0.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(R0.next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(R0.next(), 0x06c45d188009454full);
+  support::SplitMix64 R42(42);
+  EXPECT_EQ(R42.next(), 0xbdd732262feb6e95ull);
+}
+
+TEST(SplitMix64, BelowIsBoundedAndTotal) {
+  support::SplitMix64 R(123);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(10), 10u);
+  // Degenerate bound: below(0) must not divide by zero.
+  EXPECT_EQ(R.below(0), 0u);
+  // Same seed, same draws.
+  support::SplitMix64 A(9), B(9);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
 }
 
 //===--------------------------------------------------------------------===//

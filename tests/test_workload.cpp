@@ -5,6 +5,7 @@
 #include "frontend/Diagnostics.h"
 #include "frontend/Lower.h"
 #include "racedetect/RaceDetect.h"
+#include "support/ContentHash.h"
 #include "workload/BenchmarkSuite.h"
 #include "workload/ProgramGenerator.h"
 
@@ -100,6 +101,164 @@ TEST(Generator, BigCommunityCreatesLargePartition) {
   // The big community holds 6*10 globals; its partition should clearly
   // dominate the small (~8 pointer) communities.
   EXPECT_GE(Max, 30u);
+}
+
+TEST(Generator, GoldenOutputIsPlatformIndependent) {
+  // The generator's contract is byte-identical output for the same
+  // config on every platform: all randomness comes from the splitmix64
+  // streams, never from implementation-defined std facilities. These
+  // constants pin the stream wiring; regenerate them deliberately if
+  // the generator's output format changes on purpose.
+  GeneratorConfig C;
+  C.Seed = 5;
+  C.NumFunctions = 6;
+  C.StmtsPerFunction = 8;
+  C.Communities = 3;
+  C.LockPointers = 1;
+  C.SharedVariables = 1;
+  C.Structs = true;
+  C.FunctionPointers = true;
+  std::string S = generateProgram(C);
+  EXPECT_EQ(S.size(), 3160u);
+  support::ContentHasher H;
+  H.str(S);
+  support::Digest D = H.digest();
+  EXPECT_EQ(D.Hi, 0xcca1a2ef83c80930ull);
+  EXPECT_EQ(D.Lo, 0xfdab1d7f08e19b01ull);
+}
+
+TEST(Generator, PristineEditStateIsTheIdentity) {
+  GeneratorConfig C;
+  C.Seed = 9;
+  C.NumFunctions = 12;
+  EXPECT_EQ(generateProgram(C), generateProgram(C, initialEditState(C)));
+}
+
+TEST(Generator, EditStreamIsDeterministicAndWellFormed) {
+  GeneratorConfig C;
+  C.Seed = 42;
+  C.NumFunctions = 10;
+  std::vector<ProgramEdit> A = generateEditStream(C, 40, /*StreamSeed=*/7);
+  std::vector<ProgramEdit> B = generateEditStream(C, 40, /*StreamSeed=*/7);
+  ASSERT_EQ(A.size(), 40u);
+  ASSERT_EQ(B.size(), 40u);
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Kind, B[I].Kind) << "edit " << I;
+    EXPECT_EQ(A[I].Function, B[I].Function) << "edit " << I;
+  }
+  // A different stream seed draws a different sequence.
+  std::vector<ProgramEdit> Other = generateEditStream(C, 40, /*StreamSeed=*/8);
+  bool AnyDiff = false;
+  for (size_t I = 0; I < A.size(); ++I)
+    AnyDiff |= A[I].Kind != Other[I].Kind || A[I].Function != Other[I].Function;
+  EXPECT_TRUE(AnyDiff);
+
+  // Invariants: mutate/stub target real functions (never main, which
+  // is outside 0..NumFunctions-1); mutate never targets a stubbed
+  // function; append ordinals are sequential; every prefix compiles.
+  EditState St = initialEditState(C);
+  uint32_t NextAppend = 0;
+  for (const ProgramEdit &E : A) {
+    switch (E.Kind) {
+    case EditKind::Mutate:
+      ASSERT_LT(E.Function, C.NumFunctions);
+      EXPECT_FALSE(St.Stubbed[E.Function])
+          << "mutate targeted stubbed f" << E.Function;
+      break;
+    case EditKind::Stub:
+      ASSERT_LT(E.Function, C.NumFunctions);
+      break;
+    case EditKind::Append:
+      EXPECT_EQ(E.Function, NextAppend++);
+      break;
+    }
+    applyEdit(St, E);
+  }
+  EXPECT_EQ(St.AppendedFunctions, NextAppend);
+  compileOk(generateProgram(C, St));
+}
+
+TEST(Generator, MutateKeepsShapeAndEveryId) {
+  // The shape-stability guarantee behind EditKind::Mutate: a version
+  // bump re-draws operands only, so lowering creates the same
+  // variables, locations and CFG edges -- only statement operands (and
+  // hence the source text) change.
+  GeneratorConfig C;
+  C.Seed = 42;
+  C.NumFunctions = 12;
+  C.StmtsPerFunction = 18;
+  C.Communities = 4;
+  C.PointerFunctionPercent = 60;
+  C.WeightNoise = 20;
+  C.WeightCall = 4;
+  C.RecursionPercent = 0;
+  C.CrossCommunityBasisPoints = 0;
+
+  EditState St = initialEditState(C);
+  std::string Src0 = generateProgram(C, St);
+  applyEdit(St, {EditKind::Mutate, /*Function=*/4});
+  std::string Src1 = generateProgram(C, St);
+  EXPECT_NE(Src0, Src1) << "the mutate edit was a no-op";
+
+  auto P0 = compileOk(Src0);
+  auto P1 = compileOk(Src1);
+  ASSERT_EQ(P0->numFuncs(), P1->numFuncs());
+  ASSERT_EQ(P0->numVars(), P1->numVars());
+  ASSERT_EQ(P0->numLocs(), P1->numLocs());
+  for (ir::VarId V = 0; V < P0->numVars(); ++V) {
+    EXPECT_EQ(P0->var(V).Name, P1->var(V).Name) << "var " << V;
+    EXPECT_EQ(P0->var(V).Owner, P1->var(V).Owner) << "var " << V;
+  }
+  for (ir::LocId L = 0; L < P0->numLocs(); ++L) {
+    EXPECT_EQ(P0->loc(L).Kind, P1->loc(L).Kind) << "loc " << L;
+    EXPECT_EQ(P0->loc(L).Owner, P1->loc(L).Owner) << "loc " << L;
+    EXPECT_EQ(P0->loc(L).Succs, P1->loc(L).Succs) << "loc " << L;
+  }
+}
+
+TEST(Generator, AppendLeavesEveryExistingIdUntouched) {
+  // The id-stability guarantee behind EditKind::Append: the appended
+  // function is named ("x<K>" sorts after every "f<N>" and "main") and
+  // shaped (void/void signature, only own locals) to land strictly at
+  // the end of the frontend's function, variable and location
+  // numbering.
+  GeneratorConfig C;
+  C.Seed = 42;
+  C.NumFunctions = 10;
+  C.StmtsPerFunction = 12;
+  C.Communities = 4;
+
+  EditState St = initialEditState(C);
+  auto P0 = compileOk(generateProgram(C, St));
+  applyEdit(St, {EditKind::Append, /*Function=*/0});
+  applyEdit(St, {EditKind::Append, /*Function=*/1});
+  auto P1 = compileOk(generateProgram(C, St));
+
+  ASSERT_EQ(P1->numFuncs(), P0->numFuncs() + 2);
+  ASSERT_GE(P1->numVars(), P0->numVars());
+  ASSERT_GE(P1->numLocs(), P0->numLocs());
+  EXPECT_EQ(P1->func(P0->numFuncs()).Name, "x0");
+  EXPECT_EQ(P1->func(P0->numFuncs() + 1).Name, "x1");
+  EXPECT_EQ(P0->entryFunction(), P1->entryFunction());
+  for (ir::FuncId F = 0; F < P0->numFuncs(); ++F) {
+    EXPECT_EQ(P0->func(F).Name, P1->func(F).Name);
+    EXPECT_EQ(P0->func(F).Entry, P1->func(F).Entry);
+    EXPECT_EQ(P0->func(F).Exit, P1->func(F).Exit);
+    EXPECT_EQ(P0->func(F).Params, P1->func(F).Params);
+    EXPECT_EQ(P0->func(F).Locations, P1->func(F).Locations);
+  }
+  for (ir::VarId V = 0; V < P0->numVars(); ++V) {
+    EXPECT_EQ(P0->var(V).Name, P1->var(V).Name) << "var " << V;
+    EXPECT_EQ(P0->var(V).Kind, P1->var(V).Kind) << "var " << V;
+    EXPECT_EQ(P0->var(V).Owner, P1->var(V).Owner) << "var " << V;
+  }
+  for (ir::LocId L = 0; L < P0->numLocs(); ++L) {
+    EXPECT_EQ(P0->loc(L).Kind, P1->loc(L).Kind) << "loc " << L;
+    EXPECT_EQ(P0->loc(L).Lhs, P1->loc(L).Lhs) << "loc " << L;
+    EXPECT_EQ(P0->loc(L).Rhs, P1->loc(L).Rhs) << "loc " << L;
+    EXPECT_EQ(P0->loc(L).Owner, P1->loc(L).Owner) << "loc " << L;
+    EXPECT_EQ(P0->loc(L).Succs, P1->loc(L).Succs) << "loc " << L;
+  }
 }
 
 TEST(Suite, HasAllTwentyRows) {
