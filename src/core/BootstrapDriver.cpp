@@ -17,10 +17,19 @@
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 using namespace bsaa;
 using namespace bsaa::core;
 using namespace bsaa::ir;
+
+void core::detail::submitClusterJobOrThrow(ThreadPool &Pool,
+                                           std::function<void()> Job) {
+  if (!Pool.submit(std::move(Job)))
+    throw std::runtime_error(
+        "ThreadPool rejected a cluster job (pool shutting down); the "
+        "cluster would silently report a default-initialized result");
+}
 
 BootstrapDriver::BootstrapDriver(const Program &P, BootstrapOptions Opts)
     : Prog(P), Opts(std::move(Opts)), CG(P) {
@@ -375,7 +384,7 @@ BootstrapResult BootstrapDriver::runAll(std::vector<Cluster> Cover) {
 
     ThreadPool Pool(Opts.Threads);
     for (size_t I : Order) {
-      Pool.submit([this, &Cover, &Result, I] {
+      detail::submitClusterJobOrThrow(Pool, [this, &Cover, &Result, I] {
         if (Opts.ClusterHook)
           Opts.ClusterHook(Cover[I]);
         Result.Clusters[I] = analyzeCluster(Cover[I]);

@@ -39,7 +39,19 @@
 #include <vector>
 
 namespace bsaa {
+
+class ThreadPool;
+
 namespace core {
+
+namespace detail {
+/// Enqueues one cluster job, treating a rejected submit as a hard
+/// error. ThreadPool::submit returns false once shutdown has begun; a
+/// job rejected there would never run, leaving its cluster's slot as a
+/// default-initialized ClusterRunResult indistinguishable from a real
+/// result -- so rejection must throw, never be ignored.
+void submitClusterJobOrThrow(ThreadPool &Pool, std::function<void()> Job);
+} // namespace detail
 
 /// Memoized Andersen refinement of one oversized partition: the vector
 /// of refined sub-clusters, keyed purely by the refinement inputs

@@ -46,7 +46,7 @@ IncrementalDriver::update(std::unique_ptr<ir::Program> NewProg,
   // from) must stay alive until the new pipeline has run.
   auto NewDriver = std::make_unique<BootstrapDriver>(*NewProg, Opts);
   NewDriver->steensgaard();
-  std::vector<Cluster> Cover = NewDriver->buildCover();
+  std::vector<Cluster> NewCover = NewDriver->buildCover();
 
   if (Report) {
     Report->ChangedFunctions.clear();
@@ -64,7 +64,7 @@ IncrementalDriver::update(std::unique_ptr<ir::Program> NewProg,
     std::set<uint32_t> Invalid;
     if (Driver) {
       std::vector<std::vector<uint32_t>> Index = buildClusterDependencyIndex(
-          *NewProg, NewDriver->callGraph(), Cover);
+          *NewProg, NewDriver->callGraph(), NewCover);
       auto MarkByName = [&](const std::vector<std::string> &Names) {
         for (const std::string &Name : Names) {
           FuncId F = NewProg->findFunction(Name);
@@ -80,7 +80,10 @@ IncrementalDriver::update(std::unique_ptr<ir::Program> NewProg,
     Report->PredictedInvalidated = static_cast<uint32_t>(Invalid.size());
   }
 
-  BootstrapResult NewResult = NewDriver->runAll(std::move(Cover));
+  // The cover is retained (lastCover) so query-serving snapshots can be
+  // built over it without re-running cover construction; runAll gets a
+  // copy, keeping result/cover index alignment.
+  BootstrapResult NewResult = NewDriver->runAll(NewCover);
 
   if (Report) {
     Report->NumClusters = NewResult.NumClusters;
@@ -94,10 +97,12 @@ IncrementalDriver::update(std::unique_ptr<ir::Program> NewProg,
     }
   }
 
-  // Commit the new version; the old driver and program die here.
+  // Commit the new version. The old driver dies here; the old program
+  // dies with the last query snapshot co-owning it (programPtr()).
   Driver = std::move(NewDriver);
-  Prog = std::move(NewProg);
+  Prog = std::shared_ptr<ir::Program>(std::move(NewProg));
   Result = std::move(NewResult);
+  Cover = std::move(NewCover);
   FuncFPs = std::move(NewFPs);
   PartitionFP = NewPartitionFP;
 

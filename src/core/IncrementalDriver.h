@@ -90,11 +90,26 @@ public:
   const ir::Program &program() const { return *Prog; }
   bool hasVersion() const { return Prog != nullptr; }
 
+  /// Shared ownership of the current program version. Query-serving
+  /// snapshots (query/QuerySnapshot.h) co-own the program through this
+  /// pointer, so readers of an old snapshot stay valid while update()
+  /// commits a new version.
+  std::shared_ptr<const ir::Program> programPtr() const { return Prog; }
+
+  /// The cluster cover the latest update() analyzed, aligned
+  /// index-for-index with lastResult().Clusters.
+  const std::vector<Cluster> &lastCover() const { return Cover; }
+
+  /// The effective per-version configuration (caches created by the
+  /// constructor included).
+  const BootstrapOptions &options() const { return BaseOpts; }
+
 private:
   BootstrapOptions BaseOpts;
-  std::unique_ptr<ir::Program> Prog;
+  std::shared_ptr<ir::Program> Prog;
   std::unique_ptr<BootstrapDriver> Driver;
   BootstrapResult Result;
+  std::vector<Cluster> Cover;
   std::vector<ir::FunctionFingerprint> FuncFPs;
   uint64_t PartitionFP = 0;
 };

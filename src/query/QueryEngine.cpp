@@ -1,0 +1,95 @@
+//===- query/QueryEngine.cpp - Concurrent alias query serving -------------===//
+
+#include "query/QueryEngine.h"
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+#include <stdexcept>
+
+using namespace bsaa;
+using namespace bsaa::query;
+
+//===----------------------------------------------------------------------===//
+// QueryEngine
+//===----------------------------------------------------------------------===//
+
+AliasAnswer QueryEngine::mayAlias(ir::VarId A, ir::VarId B) const {
+  std::shared_ptr<const QuerySnapshot> S = snapshot();
+  assert(S && "query before the first publish()");
+  return S->mayAlias(A, B);
+}
+
+AliasAnswer QueryEngine::mayAliasAt(ir::VarId A, ir::VarId B,
+                                    ir::LocId Loc) const {
+  std::shared_ptr<const QuerySnapshot> S = snapshot();
+  assert(S && "query before the first publish()");
+  return S->mayAliasAt(A, B, Loc);
+}
+
+PointsToAnswer QueryEngine::pointsToAt(ir::VarId V, ir::LocId Loc) const {
+  std::shared_ptr<const QuerySnapshot> S = snapshot();
+  assert(S && "query before the first publish()");
+  return S->pointsToAt(V, Loc);
+}
+
+std::vector<uint8_t>
+QueryEngine::evalMayAlias(const std::vector<MayAliasQuery> &Queries,
+                          unsigned Threads) const {
+  std::shared_ptr<const QuerySnapshot> S = snapshot();
+  assert(S && "query before the first publish()");
+  std::vector<uint8_t> Results(Queries.size(), 0);
+
+  auto EvalRange = [&Queries, &Results](const QuerySnapshot &Snap,
+                                        size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      const MayAliasQuery &Q = Queries[I];
+      AliasAnswer A = (Q.Loc == ir::InvalidLoc)
+                          ? Snap.mayAlias(Q.A, Q.B)
+                          : Snap.mayAliasAt(Q.A, Q.B, Q.Loc);
+      Results[I] = A.MayAlias ? 1 : 0;
+    }
+  };
+
+  if (Threads <= 1 || Queries.size() <= 1) {
+    EvalRange(*S, 0, Queries.size());
+    return Results;
+  }
+
+  // Oversplit a little so an unlucky chunk full of expensive
+  // materializations doesn't serialize the batch.
+  size_t NumChunks = std::min<size_t>(Queries.size(),
+                                      static_cast<size_t>(Threads) * 4);
+  size_t ChunkSize = (Queries.size() + NumChunks - 1) / NumChunks;
+  ThreadPool Pool(Threads);
+  for (size_t Begin = 0; Begin < Queries.size(); Begin += ChunkSize) {
+    size_t End = std::min(Begin + ChunkSize, Queries.size());
+    if (!Pool.submit([&EvalRange, &S, Begin, End] {
+          EvalRange(*S, Begin, End);
+        }))
+      throw std::runtime_error(
+          "ThreadPool rejected a query batch chunk (pool shutting down)");
+  }
+  Pool.waitAll();
+  return Results;
+}
+
+//===----------------------------------------------------------------------===//
+// AliasService
+//===----------------------------------------------------------------------===//
+
+AliasService::AliasService(core::BootstrapOptions BOpts, QueryOptions QOptsIn)
+    : Inc(std::move(BOpts)), QOpts(std::move(QOptsIn)) {
+  // Keyed adoption and flag semantics require serving to run the exact
+  // engine configuration the cascade ran.
+  QOpts.EngineOpts = Inc.options().EngineOpts;
+}
+
+core::UpdateReport AliasService::update(std::unique_ptr<ir::Program> NewProg) {
+  core::UpdateReport Report;
+  const core::BootstrapResult &R = Inc.update(std::move(NewProg), &Report);
+  Engine.publish(QuerySnapshot::build(Inc.programPtr(), Inc.lastCover(),
+                                      &R.Clusters, QOpts,
+                                      Inc.options().SummaryCache));
+  return Report;
+}

@@ -1,0 +1,360 @@
+//===- query/QuerySnapshot.cpp - Immutable query-serving snapshot ---------===//
+
+#include "query/QuerySnapshot.h"
+
+#include "core/RelevantStatements.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bsaa;
+using namespace bsaa::query;
+
+const char *query::answerSourceName(AnswerSource S) {
+  switch (S) {
+  case AnswerSource::Index:
+    return "index";
+  case AnswerSource::Fscs:
+    return "fscs";
+  case AnswerSource::Andersen:
+    return "andersen";
+  case AnswerSource::Steensgaard:
+    return "steensgaard";
+  }
+  return "unknown";
+}
+
+ir::LocId query::canonicalAliasLoc(const ir::Program &P, ir::VarId A,
+                                   ir::VarId B) {
+  ir::FuncId FA = P.var(A).Owner;
+  ir::FuncId FB = P.var(B).Owner;
+  ir::FuncId F =
+      (FA != ir::InvalidFunc && FA == FB) ? FA : P.entryFunction();
+  if (F == ir::InvalidFunc)
+    return ir::InvalidLoc;
+  return P.func(F).Exit;
+}
+
+namespace {
+
+/// Intersection test over two sorted vectors.
+bool sortedIntersects(const std::vector<ir::VarId> &A,
+                      const std::vector<ir::VarId> &B) {
+  size_t I = 0, J = 0;
+  while (I < A.size() && J < B.size()) {
+    if (A[I] < B[J])
+      ++I;
+    else if (B[J] < A[I])
+      ++J;
+    else
+      return true;
+  }
+  return false;
+}
+
+void mergeSortedUnique(std::vector<ir::VarId> &Into,
+                       std::vector<ir::VarId> From) {
+  Into.insert(Into.end(), From.begin(), From.end());
+  std::sort(Into.begin(), Into.end());
+  Into.erase(std::unique(Into.begin(), Into.end()), Into.end());
+}
+
+} // namespace
+
+std::shared_ptr<const QuerySnapshot>
+QuerySnapshot::build(std::shared_ptr<const ir::Program> P,
+                     std::vector<core::Cluster> Cover,
+                     const std::vector<core::ClusterRunResult> *Runs,
+                     QueryOptions Opts,
+                     std::shared_ptr<fscs::SummaryCache> Cache) {
+  assert(P && "snapshot needs a program");
+  return std::shared_ptr<const QuerySnapshot>(
+      new QuerySnapshot(std::move(P), std::move(Cover), Runs,
+                        std::move(Opts), std::move(Cache)));
+}
+
+QuerySnapshot::QuerySnapshot(std::shared_ptr<const ir::Program> P,
+                             std::vector<core::Cluster> CoverIn,
+                             const std::vector<core::ClusterRunResult> *Runs,
+                             QueryOptions OptsIn,
+                             std::shared_ptr<fscs::SummaryCache> CacheIn)
+    : Prog(std::move(P)), Cover(std::move(CoverIn)), Opts(std::move(OptsIn)),
+      Cache(std::move(CacheIn)), CG(*Prog), Steens(*Prog) {
+  Steens.run();
+  if (Cache)
+    ProgFP = core::programFingerprint(*Prog);
+
+  // Inverted pointer -> cluster index. Cluster ids are appended in
+  // ascending order, so every per-variable list comes out sorted.
+  VarClusters.resize(Prog->numVars());
+  for (uint32_t CI = 0; CI < Cover.size(); ++CI)
+    for (ir::VarId M : Cover[CI].Members)
+      if (M < VarClusters.size())
+        VarClusters[M].push_back(CI);
+
+  NeedsFallback.assign(Cover.size(), 0);
+  if (Runs) {
+    assert(Runs->size() == Cover.size() &&
+           "run results must align index-for-index with the cover");
+    for (uint32_t CI = 0; CI < Cover.size(); ++CI) {
+      const core::ClusterRunResult &R = (*Runs)[CI];
+      // A truncated run may have *lost* alias origins (it never invents
+      // them), so its "no alias" verdicts are untrustworthy; route the
+      // whole cluster through the fallback chain.
+      NeedsFallback[CI] = (R.BudgetHit || R.Approximated) ? 1 : 0;
+    }
+  }
+}
+
+QuerySnapshot::~QuerySnapshot() = default;
+
+const std::vector<uint32_t> &QuerySnapshot::clustersOf(ir::VarId V) const {
+  static const std::vector<uint32_t> Empty;
+  if (V >= VarClusters.size())
+    return Empty;
+  return VarClusters[V];
+}
+
+//===----------------------------------------------------------------------===//
+// Materialization
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<QuerySnapshot::Entry>
+QuerySnapshot::materialize(uint32_t ClusterIdx) const {
+  std::shared_ptr<Entry> E;
+  {
+    std::lock_guard<std::mutex> Lock(LruMutex);
+    auto It = Resident.find(ClusterIdx);
+    if (It != Resident.end()) {
+      LruOrder.splice(LruOrder.begin(), LruOrder, LruPos[ClusterIdx]);
+      E = It->second;
+    } else {
+      E = std::make_shared<Entry>();
+      Resident.emplace(ClusterIdx, E);
+      LruOrder.push_front(ClusterIdx);
+      LruPos[ClusterIdx] = LruOrder.begin();
+      size_t Cap = std::max<size_t>(1, Opts.MaxMaterializedClusters);
+      while (Resident.size() > Cap) {
+        uint32_t Victim = LruOrder.back();
+        LruOrder.pop_back();
+        LruPos.erase(Victim);
+        // Readers holding the evicted entry's shared_ptr keep it alive;
+        // it just stops being findable (and re-materializes next time).
+        Resident.erase(Victim);
+        NumEvictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Construct outside the LRU lock so materializing one cluster never
+  // blocks queries against others; the per-entry mutex makes waiters
+  // for *this* cluster queue behind the construction.
+  std::lock_guard<std::mutex> Lock(E->M);
+  if (!E->AA) {
+    auto AA = std::make_unique<fscs::ClusterAliasAnalysis>(
+        *Prog, CG, Steens, Cover[ClusterIdx], Opts.EngineOpts);
+    NumMaterializations.fetch_add(1, std::memory_order_relaxed);
+    bool Adopted = false;
+    if (Cache) {
+      support::Digest Key =
+          fscs::clusterSummaryKey(ProgFP, Cover[ClusterIdx], Opts.EngineOpts);
+      if (std::shared_ptr<const fscs::CachedClusterRun> Hit =
+              Cache->lookup(Key)) {
+        fscs::SummaryEngine::State S = Hit->Engine;
+        AA->adoptState(std::move(S), Hit->Dove);
+        NumCacheAdoptions.fetch_add(1, std::memory_order_relaxed);
+        Adopted = true;
+      }
+    }
+    if (!Adopted)
+      AA->prepare();
+    E->AA = std::move(AA);
+  }
+  return E;
+}
+
+const analysis::AndersenAnalysis &QuerySnapshot::andersen() const {
+  std::call_once(AndersenOnce, [this] {
+    auto A = std::make_unique<analysis::AndersenAnalysis>(*Prog);
+    A->run();
+    AndersenFallback = std::move(A);
+  });
+  return *AndersenFallback;
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+void QuerySnapshot::countAnswer(AnswerSource S) const {
+  switch (S) {
+  case AnswerSource::Index:
+    NumIndexAnswers.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case AnswerSource::Fscs:
+    NumFscsAnswers.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case AnswerSource::Andersen:
+    NumAndersenAnswers.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case AnswerSource::Steensgaard:
+    NumSteensgaardAnswers.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+}
+
+AliasAnswer QuerySnapshot::fallbackMayAlias(ir::VarId A, ir::VarId B) const {
+  AliasAnswer Ans;
+  if (Opts.UseAndersenFallback) {
+    Ans.MayAlias = andersen().mayAlias(A, B);
+    Ans.Source = AnswerSource::Andersen;
+  } else {
+    Ans.MayAlias = Steens.mayAlias(A, B);
+    Ans.Source = AnswerSource::Steensgaard;
+  }
+  countAnswer(Ans.Source);
+  return Ans;
+}
+
+AliasAnswer QuerySnapshot::mayAlias(ir::VarId A, ir::VarId B) const {
+  ir::LocId Loc = canonicalAliasLoc(*Prog, A, B);
+  return mayAliasAt(A, B, Loc);
+}
+
+AliasAnswer QuerySnapshot::mayAliasAt(ir::VarId A, ir::VarId B,
+                                      ir::LocId Loc) const {
+  if (A >= Prog->numVars() || B >= Prog->numVars() ||
+      !Prog->var(A).isPointer() || !Prog->var(B).isPointer()) {
+    countAnswer(AnswerSource::Index);
+    return {false, AnswerSource::Index};
+  }
+  if (A == B) {
+    countAnswer(AnswerSource::Index);
+    return {true, AnswerSource::Index};
+  }
+
+  // Theorem 7: p and q may alias only within a cluster containing both.
+  // No shared cluster => no alias, straight from the index.
+  const std::vector<uint32_t> &CA = clustersOf(A);
+  const std::vector<uint32_t> &CB = clustersOf(B);
+  bool AnyShared = false, AnyFallback = false;
+  size_t I = 0, J = 0;
+  if (Loc >= Prog->numLocs()) {
+    // No location to evaluate flow-sensitively at (e.g. no entry
+    // function); a flow-insensitive stage is the precise option left.
+    while (I < CA.size() && J < CB.size()) {
+      if (CA[I] < CB[J])
+        ++I;
+      else if (CB[J] < CA[I])
+        ++J;
+      else {
+        AnyShared = true;
+        break;
+      }
+    }
+    if (!AnyShared) {
+      countAnswer(AnswerSource::Index);
+      return {false, AnswerSource::Index};
+    }
+    return fallbackMayAlias(A, B);
+  }
+
+  while (I < CA.size() && J < CB.size()) {
+    if (CA[I] < CB[J]) {
+      ++I;
+    } else if (CB[J] < CA[I]) {
+      ++J;
+    } else {
+      uint32_t CI = CA[I];
+      ++I;
+      ++J;
+      AnyShared = true;
+      if (NeedsFallback[CI]) {
+        AnyFallback = true;
+        continue;
+      }
+      std::shared_ptr<Entry> E = materialize(CI);
+      std::lock_guard<std::mutex> Lock(E->M);
+      fscs::ClusterAliasAnalysis::PointsToResult PA = E->AA->pointsTo(A, Loc);
+      fscs::ClusterAliasAnalysis::PointsToResult PB = E->AA->pointsTo(B, Loc);
+      if (sortedIntersects(PA.Objects, PB.Objects)) {
+        countAnswer(AnswerSource::Fscs);
+        return {true, AnswerSource::Fscs};
+      }
+      // Serving-time truncation: a "no" built from incomplete origin
+      // sets is as untrustworthy as a flagged cascade run.
+      if (!PA.Complete || !PB.Complete)
+        AnyFallback = true;
+    }
+  }
+
+  if (!AnyShared) {
+    countAnswer(AnswerSource::Index);
+    return {false, AnswerSource::Index};
+  }
+  if (AnyFallback)
+    return fallbackMayAlias(A, B);
+  countAnswer(AnswerSource::Fscs);
+  return {false, AnswerSource::Fscs};
+}
+
+PointsToAnswer QuerySnapshot::pointsToAt(ir::VarId V, ir::LocId Loc) const {
+  PointsToAnswer Ans;
+  if (V >= Prog->numVars() || !Prog->var(V).isPointer()) {
+    countAnswer(AnswerSource::Index);
+    return Ans;
+  }
+
+  const std::vector<uint32_t> &CV = clustersOf(V);
+  bool AnyFallback = CV.empty() || Loc >= Prog->numLocs();
+  bool Truncated = false;
+  if (!AnyFallback) {
+    for (uint32_t CI : CV) {
+      if (NeedsFallback[CI]) {
+        AnyFallback = true;
+        continue;
+      }
+      std::shared_ptr<Entry> E = materialize(CI);
+      std::lock_guard<std::mutex> Lock(E->M);
+      fscs::ClusterAliasAnalysis::PointsToResult R = E->AA->pointsTo(V, Loc);
+      // Objects a truncated run *found* are real -- keep them and widen
+      // with the fallback stage below.
+      mergeSortedUnique(Ans.Objects, std::move(R.Objects));
+      if (!R.Complete)
+        Truncated = true;
+    }
+  }
+
+  if (AnyFallback || Truncated) {
+    if (Opts.UseAndersenFallback) {
+      mergeSortedUnique(Ans.Objects, andersen().pointsToVars(V));
+      Ans.Source = AnswerSource::Andersen;
+    } else {
+      mergeSortedUnique(Ans.Objects, Steens.pointsToVars(V));
+      Ans.Source = AnswerSource::Steensgaard;
+    }
+    Ans.Complete = false;
+  } else {
+    Ans.Source = AnswerSource::Fscs;
+    Ans.Complete = true;
+  }
+  countAnswer(Ans.Source);
+  return Ans;
+}
+
+SnapshotStats QuerySnapshot::stats() const {
+  SnapshotStats S;
+  S.IndexAnswers = NumIndexAnswers.load(std::memory_order_relaxed);
+  S.FscsAnswers = NumFscsAnswers.load(std::memory_order_relaxed);
+  S.AndersenAnswers = NumAndersenAnswers.load(std::memory_order_relaxed);
+  S.SteensgaardAnswers =
+      NumSteensgaardAnswers.load(std::memory_order_relaxed);
+  S.Materializations = NumMaterializations.load(std::memory_order_relaxed);
+  S.CacheAdoptions = NumCacheAdoptions.load(std::memory_order_relaxed);
+  S.Evictions = NumEvictions.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(LruMutex);
+    S.Resident = Resident.size();
+  }
+  return S;
+}

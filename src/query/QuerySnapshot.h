@@ -1,0 +1,225 @@
+//===- query/QuerySnapshot.h - Immutable query-serving snapshot -*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One immutable, internally synchronized view of a bootstrapped
+/// analysis run, built for serving may-alias / points-to queries:
+///
+///  * an *inverted pointer -> cluster index* over the disjunctive alias
+///    cover. By Theorem 7 the aliases of a pointer are the union of its
+///    aliases within the clusters containing it, so two pointers that
+///    share no cluster cannot alias -- answered from the index alone,
+///    without touching any FSCS data;
+///  * *lazily materialized per-cluster FSCS analyses*. The cascade's
+///    per-cluster results are replayed from the shared SummaryCache
+///    when available (ClusterAliasAnalysis::adoptState), otherwise
+///    recomputed on first demand; a configurable LRU cap bounds how
+///    many clusters are resident at once;
+///  * a *sound precision-fallback chain*. Clusters whose cascade run
+///    was flagged BudgetHit/Approximated may have lost origins, so a
+///    "no alias" verdict from their FSCS data cannot be trusted; such
+///    clusters are answered by whole-program Andersen (lazily solved,
+///    shared) or, when disabled, Steensgaard. Every fallback stage
+///    over-approximates the one before it, so answers remain sound --
+///    only precision degrades.
+///
+/// A snapshot owns everything it reads (program via shared_ptr, its own
+/// Steensgaard/CallGraph solves, a copy of the cover), so it stays
+/// valid after the producing driver moves to a newer program version.
+/// All query methods are const and thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_QUERY_QUERYSNAPSHOT_H
+#define BSAA_QUERY_QUERYSNAPSHOT_H
+
+#include "analysis/Andersen.h"
+#include "analysis/Steensgaard.h"
+#include "core/BootstrapDriver.h"
+#include "core/Cluster.h"
+#include "fscs/ClusterAliasAnalysis.h"
+#include "fscs/SummaryCache.h"
+#include "ir/CallGraph.h"
+#include "ir/Ir.h"
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace bsaa {
+namespace query {
+
+/// Which rung of the precision chain produced an answer.
+enum class AnswerSource : uint8_t {
+  Index,       ///< Cover index alone (no shared cluster, trivial pair).
+  Fscs,        ///< Per-cluster FSCS result.
+  Andersen,    ///< Whole-program Andersen fallback (flagged cluster).
+  Steensgaard, ///< Last-resort unification fallback.
+};
+
+const char *answerSourceName(AnswerSource S);
+
+/// Serving configuration.
+struct QueryOptions {
+  /// LRU cap on concurrently materialized per-cluster FSCS analyses.
+  /// Evicted clusters re-materialize on the next query (cheaply, when
+  /// the summary cache still holds their run).
+  size_t MaxMaterializedClusters = 64;
+
+  /// Fall back to whole-program Andersen for flagged clusters; when
+  /// false the chain degrades straight to Steensgaard.
+  bool UseAndersenFallback = true;
+
+  /// Engine options for materializing cluster analyses. Must equal the
+  /// options the cascade ran with for SummaryCache adoption to hit
+  /// (AliasService enforces this).
+  fscs::SummaryEngine::Options EngineOpts;
+};
+
+/// A may-alias verdict plus its provenance.
+struct AliasAnswer {
+  bool MayAlias = false;
+  AnswerSource Source = AnswerSource::Index;
+};
+
+/// A points-to answer plus its provenance.
+struct PointsToAnswer {
+  std::vector<ir::VarId> Objects; ///< Sorted, deduplicated.
+  AnswerSource Source = AnswerSource::Index;
+  /// False when any consulted cluster run was truncated or a fallback
+  /// stage (flow-insensitive, hence over-approximate) contributed.
+  bool Complete = true;
+};
+
+/// Serving-side accounting (monotone except Resident).
+struct SnapshotStats {
+  uint64_t IndexAnswers = 0;   ///< Answered from the index alone.
+  uint64_t FscsAnswers = 0;    ///< Answered at full FSCS precision.
+  uint64_t AndersenAnswers = 0;
+  uint64_t SteensgaardAnswers = 0;
+  uint64_t Materializations = 0; ///< Cluster analyses constructed.
+  uint64_t CacheAdoptions = 0;   ///< ...of which replayed a cached run.
+  uint64_t Evictions = 0;        ///< LRU evictions.
+  uint64_t Resident = 0;         ///< Currently materialized clusters.
+};
+
+/// The canonical location a location-free mayAlias(p, q) is evaluated
+/// at: the owning function's exit when both pointers share an owner,
+/// the entry function's exit otherwise (globals and cross-function
+/// pairs). InvalidLoc when the program has no entry function.
+ir::LocId canonicalAliasLoc(const ir::Program &P, ir::VarId A, ir::VarId B);
+
+/// Immutable query-serving view of one analyzed program version.
+class QuerySnapshot {
+public:
+  /// Builds a snapshot over \p Cover. \p Runs, when non-null, must be
+  /// aligned index-for-index with \p Cover (BootstrapResult::Clusters
+  /// after runAll over the same cover) and supplies the
+  /// BudgetHit/Approximated serving flags; null means every cluster is
+  /// trusted at FSCS precision. \p Cache, when non-null, lets
+  /// materialization replay the cascade's memoized per-cluster runs.
+  static std::shared_ptr<const QuerySnapshot>
+  build(std::shared_ptr<const ir::Program> P,
+        std::vector<core::Cluster> Cover,
+        const std::vector<core::ClusterRunResult> *Runs, QueryOptions Opts,
+        std::shared_ptr<fscs::SummaryCache> Cache = nullptr);
+
+  ~QuerySnapshot();
+  QuerySnapshot(const QuerySnapshot &) = delete;
+  QuerySnapshot &operator=(const QuerySnapshot &) = delete;
+
+  //===--------------------------------------------------------------===//
+  // Queries (const, thread-safe)
+  //===--------------------------------------------------------------===//
+
+  /// May-alias at the canonical location (see canonicalAliasLoc).
+  AliasAnswer mayAlias(ir::VarId A, ir::VarId B) const;
+
+  /// May-alias just before \p Loc.
+  AliasAnswer mayAliasAt(ir::VarId A, ir::VarId B, ir::LocId Loc) const;
+
+  /// Objects \p V may point to just before \p Loc: the Theorem 7 union
+  /// over the clusters containing V.
+  PointsToAnswer pointsToAt(ir::VarId V, ir::LocId Loc) const;
+
+  //===--------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------===//
+
+  /// Cluster ids containing \p V (sorted ascending).
+  const std::vector<uint32_t> &clustersOf(ir::VarId V) const;
+
+  /// True when cluster \p Idx is served through the fallback chain.
+  bool clusterNeedsFallback(uint32_t Idx) const {
+    return NeedsFallback[Idx] != 0;
+  }
+
+  const ir::Program &program() const { return *Prog; }
+  const std::vector<core::Cluster> &cover() const { return Cover; }
+  const QueryOptions &options() const { return Opts; }
+  SnapshotStats stats() const;
+
+private:
+  QuerySnapshot(std::shared_ptr<const ir::Program> P,
+                std::vector<core::Cluster> CoverIn,
+                const std::vector<core::ClusterRunResult> *Runs,
+                QueryOptions OptsIn,
+                std::shared_ptr<fscs::SummaryCache> CacheIn);
+
+  /// One materialized per-cluster analysis. ClusterAliasAnalysis
+  /// queries mutate engine memo state, so each entry carries its own
+  /// mutex; handing entries out as shared_ptr keeps an evicted entry
+  /// alive for the reader currently holding it.
+  struct Entry {
+    std::mutex M;
+    std::unique_ptr<fscs::ClusterAliasAnalysis> AA;
+  };
+
+  std::shared_ptr<Entry> materialize(uint32_t ClusterIdx) const;
+  const analysis::AndersenAnalysis &andersen() const;
+  AliasAnswer fallbackMayAlias(ir::VarId A, ir::VarId B) const;
+  void countAnswer(AnswerSource S) const;
+
+  std::shared_ptr<const ir::Program> Prog;
+  std::vector<core::Cluster> Cover;
+  QueryOptions Opts;
+  std::shared_ptr<fscs::SummaryCache> Cache;
+  uint64_t ProgFP = 0; ///< For SummaryCache keys (0 without a cache).
+
+  ir::CallGraph CG;
+  analysis::SteensgaardAnalysis Steens;
+
+  /// Inverted index: VarId -> sorted cluster ids containing it.
+  std::vector<std::vector<uint32_t>> VarClusters;
+  std::vector<uint8_t> NeedsFallback; ///< Per cluster id.
+
+  /// Lazily solved whole-program Andersen fallback.
+  mutable std::once_flag AndersenOnce;
+  mutable std::unique_ptr<analysis::AndersenAnalysis> AndersenFallback;
+
+  /// LRU-capped materialized cluster analyses.
+  mutable std::mutex LruMutex;
+  mutable std::unordered_map<uint32_t, std::shared_ptr<Entry>> Resident;
+  mutable std::list<uint32_t> LruOrder; ///< Front = most recent.
+  mutable std::unordered_map<uint32_t, std::list<uint32_t>::iterator>
+      LruPos;
+
+  mutable std::atomic<uint64_t> NumIndexAnswers{0};
+  mutable std::atomic<uint64_t> NumFscsAnswers{0};
+  mutable std::atomic<uint64_t> NumAndersenAnswers{0};
+  mutable std::atomic<uint64_t> NumSteensgaardAnswers{0};
+  mutable std::atomic<uint64_t> NumMaterializations{0};
+  mutable std::atomic<uint64_t> NumCacheAdoptions{0};
+  mutable std::atomic<uint64_t> NumEvictions{0};
+};
+
+} // namespace query
+} // namespace bsaa
+
+#endif // BSAA_QUERY_QUERYSNAPSHOT_H

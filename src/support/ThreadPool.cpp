@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include <cassert>
+
 using namespace bsaa;
 
 ThreadPool::ThreadPool(unsigned NumThreads) {
@@ -15,7 +17,16 @@ ThreadPool::ThreadPool(unsigned NumThreads) {
     Workers.emplace_back([this] { workerLoop(); });
 }
 
-ThreadPool::~ThreadPool() { shutdown(); }
+ThreadPool::~ThreadPool() {
+  shutdown();
+  // A job error that neither waitAll() nor takeError() observed would
+  // vanish here. Destructors must not throw, so make the leak loud in
+  // debug builds instead of discarding it silently. (Workers are
+  // joined: no lock needed.)
+  assert(!FirstError &&
+         "ThreadPool destroyed with an unobserved job error; call "
+         "waitAll() or takeError() before destruction");
+}
 
 void ThreadPool::shutdown() {
   {
@@ -28,9 +39,15 @@ void ThreadPool::shutdown() {
   for (std::thread &W : Workers)
     if (W.joinable())
       W.join();
-  // An exception captured after the last waitAll() has nowhere to go.
+  // FirstError deliberately survives shutdown: an exception captured
+  // after the last waitAll() stays claimable via takeError().
+}
+
+std::exception_ptr ThreadPool::takeError() {
   std::unique_lock<std::mutex> Lock(Mutex);
+  std::exception_ptr E = FirstError;
   FirstError = nullptr;
+  return E;
 }
 
 bool ThreadPool::submit(std::function<void()> Job) {

@@ -14,7 +14,9 @@
 /// The first exception thrown by any job of a batch is captured and
 /// rethrown from the next waitAll() call (first-error-wins); the
 /// remaining queued jobs still drain, so waitAll() always returns (or
-/// throws) with the pool quiescent and reusable.
+/// throws) with the pool quiescent and reusable. An error captured
+/// after the last waitAll() survives shutdown() and is claimable via
+/// takeError(); debug builds assert it was claimed before destruction.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,10 +57,19 @@ public:
   void waitAll();
 
   /// Drains the queue, joins all workers, and rejects any further
-  /// submit(). Idempotent; called by the destructor. Exceptions captured
-  /// from jobs but never observed via waitAll() are dropped here (the
-  /// destructor must not throw).
+  /// submit(). Idempotent; called by the destructor. An exception
+  /// captured from a job but never observed via waitAll() survives
+  /// shutdown and stays claimable through takeError() -- it is never
+  /// silently discarded.
   void shutdown();
+
+  /// Claims the first captured-but-unobserved job exception (null if
+  /// none), clearing it. This is the post-shutdown() counterpart of
+  /// waitAll()'s rethrow: the destructor must not throw, so callers
+  /// that skip the final waitAll() collect the error here instead. In
+  /// debug builds the destructor asserts that no error is left
+  /// unclaimed.
+  std::exception_ptr takeError();
 
   unsigned numThreads() const {
     return static_cast<unsigned>(Workers.size());

@@ -472,15 +472,22 @@ TEST_P(PrecisionOrder, AndersenRefinesOneFlowRefinesSteensgaard) {
   A.run();
 
   // Alias pairs: Andersen ⊆ OneLevelFlow ⊆ Steensgaard.
-  EXPECT_TRUE(refines(*P, A, F));
-  EXPECT_TRUE(refines(*P, F, S));
-  EXPECT_TRUE(refines(*P, A, S));
+  EXPECT_TRUE(refines(*P, A, F, S));
+  EXPECT_TRUE(refines(*P, F, S, S));
+  EXPECT_TRUE(refines(*P, A, S, S));
 
-  uint64_t NA = countMayAliasPairs(*P, A);
-  uint64_t NF = countMayAliasPairs(*P, F);
-  uint64_t NS = countMayAliasPairs(*P, S);
+  uint64_t NA = countMayAliasPairs(*P, A, S);
+  uint64_t NF = countMayAliasPairs(*P, F, S);
+  uint64_t NS = countMayAliasPairs(*P, S, S);
   EXPECT_LE(NA, NF);
   EXPECT_LE(NF, NS);
+
+  // The partition-restricted enumeration must agree exactly with the
+  // naive all-pairs loops (cross-partition pairs never alias).
+  EXPECT_EQ(NA, countMayAliasPairs(*P, A));
+  EXPECT_EQ(NF, countMayAliasPairs(*P, F));
+  EXPECT_EQ(NS, countMayAliasPairs(*P, S));
+  EXPECT_EQ(refines(*P, A, F, S), refines(*P, A, F));
 }
 
 INSTANTIATE_TEST_SUITE_P(Programs, PrecisionOrder,

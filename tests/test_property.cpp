@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AliasQueries.h"
 #include "analysis/Andersen.h"
 #include "analysis/FlowSensitiveDataflow.h"
 #include "analysis/Steensgaard.h"
@@ -303,6 +304,25 @@ TEST_P(RandomPrograms, CascadeAgreesWithWholeProgram) {
           << GetParam() << ")";
     }
   }
+}
+
+TEST_P(RandomPrograms, PartitionRestrictedAliasCountsMatchNaive) {
+  // The partition-restricted countMayAliasPairs/refines overloads must
+  // agree exactly with the naive all-pairs loops: cross-partition
+  // pairs never alias for any analysis refining Steensgaard.
+  auto P = generate(GetParam());
+  if (!P)
+    return;
+  analysis::SteensgaardAnalysis S(*P);
+  S.run();
+  analysis::AndersenAnalysis A(*P);
+  A.run();
+
+  EXPECT_EQ(analysis::countMayAliasPairs(*P, S),
+            analysis::countMayAliasPairs(*P, S, S));
+  EXPECT_EQ(analysis::countMayAliasPairs(*P, A),
+            analysis::countMayAliasPairs(*P, A, S));
+  EXPECT_EQ(analysis::refines(*P, A, S), analysis::refines(*P, A, S, S));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,

@@ -106,6 +106,36 @@ TEST(ThreadPoolShutdown, DestructorDrainsQueuedJobs) {
   EXPECT_EQ(Ran.load(), 64);
 }
 
+TEST(ThreadPoolShutdown, ShutdownPreservesAnUnobservedError) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("never waited on"); });
+  Pool.shutdown(); // No waitAll(): the error must survive shutdown.
+  std::exception_ptr E = Pool.takeError();
+  ASSERT_TRUE(E != nullptr)
+      << "shutdown() silently discarded a captured job error";
+  EXPECT_THROW(std::rethrow_exception(E), std::runtime_error);
+  // takeError() transfers ownership: a second call finds nothing, and
+  // the (debug-build) destructor assertion stays quiet.
+  EXPECT_TRUE(Pool.takeError() == nullptr);
+}
+
+TEST(ThreadPoolShutdown, TakeErrorIsNullAfterWaitAllObservedIt) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("observed"); });
+  EXPECT_THROW(Pool.waitAll(), std::runtime_error);
+  Pool.shutdown();
+  EXPECT_TRUE(Pool.takeError() == nullptr);
+}
+
+TEST(ThreadPoolShutdown, TakeErrorIsNullWhenNothingThrew) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  Pool.submit([&Ran] { Ran.fetch_add(1); });
+  Pool.shutdown();
+  EXPECT_EQ(Ran.load(), 1);
+  EXPECT_TRUE(Pool.takeError() == nullptr);
+}
+
 TEST(ThreadPoolShutdown, SubmitAfterShutdownIsRejected) {
   ThreadPool Pool(2);
   std::atomic<int> Ran{0};
@@ -116,6 +146,30 @@ TEST(ThreadPoolShutdown, SubmitAfterShutdownIsRejected) {
   EXPECT_FALSE(Pool.submit([&Ran] { Ran.fetch_add(1); }));
   EXPECT_EQ(Ran.load(), 1);
   Pool.shutdown(); // Idempotent.
+}
+
+//===--------------------------------------------------------------------===//
+// Cluster-job submission (the driver's rejection handling)
+//===--------------------------------------------------------------------===//
+
+// runAll() must never let a rejected submit() pass silently: the
+// cluster's slot would keep its default-initialized result and the
+// pipeline would report success over garbage. The production path is
+// exposed as core::detail::submitClusterJobOrThrow so the rejection
+// branch is testable without forcing a mid-runAll shutdown.
+TEST(ClusterJobSubmission, RejectedSubmitThrowsInsteadOfDroppingTheJob) {
+  ThreadPool Pool(2);
+  Pool.shutdown();
+  EXPECT_THROW(core::detail::submitClusterJobOrThrow(Pool, [] {}),
+               std::runtime_error);
+}
+
+TEST(ClusterJobSubmission, AcceptedSubmitRunsTheJob) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  core::detail::submitClusterJobOrThrow(Pool, [&Ran] { Ran.fetch_add(1); });
+  Pool.waitAll();
+  EXPECT_EQ(Ran.load(), 1);
 }
 
 //===--------------------------------------------------------------------===//
