@@ -6,6 +6,7 @@
 #include "support/Timer.h"
 #include "support/Worklist.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace bsaa;
@@ -69,16 +70,24 @@ void AndersenAnalysis::run() {
 void AndersenAnalysis::runOn(const std::vector<LocId> &Stmts) {
   Timer T;
   uint32_t N = Prog.numVars();
-  Reps.grow(N);
+  // A fresh forest every run: merges from a previous runOn (or its HVN
+  // pass) describe a different statement slice and must not leak in.
+  Reps = UnionFind(N);
   Pts.assign(N, SparseBitVector());
   Copy.assign(N, {});
   CopyDedup.assign(N, {});
+  Delta.assign(Opts.EnableDiffProp ? N : 0, SparseBitVector());
   Loads.clear();
   Stores.clear();
   LoadsAt.assign(N, {});
   StoresAt.assign(N, {});
+  PrepStats = PrepareStats();
   Iterations = 0;
   Collapsed = 0;
+  PropagatedBytes = 0;
+
+  if (Opts.EnableHVN)
+    PrepStats = prepareAndersen(Prog, Stmts, Reps);
 
   addConstraintsFrom(Stmts);
   solve();
@@ -88,63 +97,95 @@ void AndersenAnalysis::runOn(const std::vector<LocId> &Stmts) {
 
 void AndersenAnalysis::solve() {
   uint32_t N = Prog.numVars();
+  const bool Diff = Opts.EnableDiffProp;
   Worklist WL(N);
   for (uint32_t V = 0; V < N; ++V)
-    if (Reps.find(V) == V && !Pts[V].empty())
+    if (Reps.find(V) == V && !Pts[V].empty()) {
+      if (Diff)
+        Delta[V] = Pts[V];
       WL.push(V);
+    }
 
   uint32_t Period = Opts.CollapsePeriod
                         ? Opts.CollapsePeriod
                         : std::max<uint32_t>(4 * N, 4096);
   uint64_t NextCollapse = Period;
 
+  SparseBitVector Walk;
   while (!WL.empty()) {
     uint32_t V = Reps.find(WL.pop());
     ++Iterations;
 
     if (Opts.CycleElimination && Iterations >= NextCollapse) {
-      collapseCycles();
+      collapseCycles(WL);
       NextCollapse = Iterations + Period;
       V = Reps.find(V);
     }
 
-    // Complex constraints: each object o now in pts(V) induces copy
-    // edges for loads (o -> x) and stores (y -> o) hanging off V.
-    // Newly inserted edges propagate immediately.
-    const SparseBitVector &PV = Pts[V];
+    // Pick the member set this pop walks. Under difference propagation
+    // it is the pending delta -- only members added since V was last
+    // processed; every older member has already been pushed through
+    // V's constraints. Otherwise it is the full set; that full set is
+    // snapshotted whenever complex constraints hang off V, because the
+    // unions below may insert into Pts[V] itself (RX or RO can resolve
+    // to V) and forEach must not iterate a vector being reallocated.
+    bool Complex = !LoadsAt[V].empty() || !StoresAt[V].empty();
+    if (Diff) {
+      if (Delta[V].empty())
+        continue;
+      Walk = std::move(Delta[V]);
+      Delta[V].clear();
+    } else if (Complex) {
+      Walk = Pts[V];
+    }
+    const SparseBitVector &WalkRef = (Diff || Complex) ? Walk : Pts[V];
+    PropagatedBytes += Diff ? Walk.approxBytes() : Pts[V].approxBytes();
+
+    // Complex constraints: each object o newly in pts(V) induces copy
+    // edges for loads (o -> x) and stores (y -> o) hanging off V. A
+    // freshly inserted edge immediately propagates the source's full
+    // current set (the edge has never carried anything).
     for (uint32_t LoadIdx : LoadsAt[V]) {
-      uint32_t X = Reps.find(Loads[LoadIdx].second);
-      PV.forEach([&](uint32_t O) {
-        uint32_t RO = Reps.find(O);
-        if (addCopyEdge(O, X) && RO != Reps.find(X)) {
-          if (Pts[Reps.find(X)].unionWith(Pts[RO]))
-            WL.push(Reps.find(X));
-        }
+      uint32_t X = Loads[LoadIdx].second;
+      WalkRef.forEach([&](uint32_t O) {
+        if (!addCopyEdge(O, X))
+          return;
+        uint32_t RO = Reps.find(O), RX = Reps.find(X);
+        bool Grew = Diff ? Pts[RX].unionWith(Pts[RO], Delta[RX])
+                         : Pts[RX].unionWith(Pts[RO]);
+        if (Grew)
+          WL.push(RX);
       });
     }
     for (uint32_t StoreIdx : StoresAt[V]) {
-      uint32_t Y = Reps.find(Stores[StoreIdx].second);
-      PV.forEach([&](uint32_t O) {
-        uint32_t RO = Reps.find(O);
-        if (addCopyEdge(Y, O) && RO != Y) {
-          if (Pts[RO].unionWith(Pts[Y]))
-            WL.push(RO);
-        }
+      uint32_t Y = Stores[StoreIdx].second;
+      WalkRef.forEach([&](uint32_t O) {
+        if (!addCopyEdge(Y, O))
+          return;
+        uint32_t RO = Reps.find(O), RY = Reps.find(Y);
+        bool Grew = Diff ? Pts[RO].unionWith(Pts[RY], Delta[RO])
+                         : Pts[RO].unionWith(Pts[RY]);
+        if (Grew)
+          WL.push(RO);
       });
     }
 
-    // Simple copy propagation.
+    // Simple copy propagation: existing edges have seen everything but
+    // the delta, so the delta is all that needs to flow (the full set
+    // under the naive walk).
     for (uint32_t To : Copy[V]) {
       uint32_t RT = Reps.find(To);
       if (RT == V)
         continue;
-      if (Pts[RT].unionWith(Pts[V]))
+      bool Grew = Diff ? Pts[RT].unionWith(Walk, Delta[RT])
+                       : Pts[RT].unionWith(Pts[V]);
+      if (Grew)
         WL.push(RT);
     }
   }
 }
 
-void AndersenAnalysis::collapseCycles() {
+void AndersenAnalysis::collapseCycles(Worklist &WL) {
   uint32_t N = Prog.numVars();
   // SCC over the copy graph restricted to representatives.
   SccResult Sccs = computeSccs(
@@ -174,8 +215,21 @@ void AndersenAnalysis::collapseCycles() {
       R = Merged;
       ++Collapsed;
       Pts[R].unionWith(Pts[Losing]);
-      for (uint32_t E : Copy[Losing])
-        Copy[R].push_back(E);
+      Pts[Losing].clear();
+      if (Opts.EnableDiffProp)
+        Delta[Losing].clear();
+      // Adopt the loser's copy edges through the survivor's dedup
+      // filter, resolving each target first: an unfiltered splice can
+      // duplicate edges R already has and can retain edges that now
+      // loop back to R itself, and the loser's dedup entries must not
+      // simply vanish or addCopyEdge would re-add those edges later.
+      for (uint32_t E : Copy[Losing]) {
+        uint32_t RT = Reps.find(E);
+        if (RT == R)
+          continue;
+        if (CopyDedup[R].insert(RT).second)
+          Copy[R].push_back(RT);
+      }
       Copy[Losing].clear();
       CopyDedup[Losing].clear();
       for (uint32_t Idx : LoadsAt[Losing])
@@ -185,6 +239,13 @@ void AndersenAnalysis::collapseCycles() {
         StoresAt[R].push_back(Idx);
       StoresAt[Losing].clear();
     }
+    // The survivor inherited points-to members and load/store
+    // constraints its own processing has never seen: re-queue it, and
+    // under difference propagation mark the whole merged set pending
+    // (it subsumes every loser's outstanding delta).
+    if (Opts.EnableDiffProp)
+      Delta[R] = Pts[R];
+    WL.push(R);
   }
 }
 
@@ -204,4 +265,23 @@ bool AndersenAnalysis::mayAlias(VarId A, VarId B) const {
   if (A == B)
     return true;
   return pointsTo(A).intersects(pointsTo(B));
+}
+
+uint64_t AndersenAnalysis::copyEdgeCount() const {
+  uint64_t Total = 0;
+  for (const std::vector<uint32_t> &L : Copy)
+    Total += L.size();
+  return Total;
+}
+
+uint64_t AndersenAnalysis::duplicateCopyEdges() const {
+  uint64_t Dups = 0;
+  std::unordered_set<uint32_t> Seen;
+  for (const std::vector<uint32_t> &L : Copy) {
+    Seen.clear();
+    for (uint32_t T : L)
+      if (!Seen.insert(T).second)
+        ++Dups;
+  }
+  return Dups;
 }

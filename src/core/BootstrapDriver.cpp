@@ -100,10 +100,18 @@ std::vector<Cluster> splitByPointsTo(const Cluster &Partition,
 /// records pin the type facts (isPointer etc.) the solver and the
 /// clusterer consult. No program fingerprint: an edit elsewhere leaves
 /// the key, and hence the cached refinement, valid.
-support::Digest andersenRefinementKey(const Program &P,
-                                      const Cluster &Part) {
+support::Digest andersenRefinementKey(const Program &P, const Cluster &Part,
+                                      const analysis::AndersenAnalysis::Options
+                                          &AOpts) {
   support::ContentHasher H;
   H.u64(0x414e4452'5346494eull); // "ANDRSFIN"
+  // Solver configuration. All configurations are proven result-equal
+  // (the differential oracle pins that), but keying on them keeps the
+  // cache honest under ablation runs that flip knobs back and forth.
+  H.u32(uint32_t(AOpts.CycleElimination));
+  H.u32(AOpts.CollapsePeriod);
+  H.u32(uint32_t(AOpts.EnableHVN));
+  H.u32(uint32_t(AOpts.EnableDiffProp));
   auto HashVar = [&](VarId V) {
     H.u32(V);
     if (V == InvalidVar)
@@ -140,7 +148,7 @@ uint64_t approxClusterVectorBytes(const std::vector<Cluster> &Cs) {
 std::vector<Cluster> BootstrapDriver::refineByAndersen(const Cluster &Part) {
   support::Digest Key{0, 0};
   if (Opts.AndersenRefinementCache) {
-    Key = andersenRefinementKey(Prog, Part);
+    Key = andersenRefinementKey(Prog, Part, Opts.AndersenOpts);
     if (std::shared_ptr<const std::vector<Cluster>> Hit =
             Opts.AndersenRefinementCache->lookup(Key)) {
       std::vector<Cluster> Pieces = *Hit;
@@ -152,7 +160,7 @@ std::vector<Cluster> BootstrapDriver::refineByAndersen(const Cluster &Part) {
     }
   }
   Timer TA;
-  analysis::AndersenAnalysis Andersen(Prog);
+  analysis::AndersenAnalysis Andersen(Prog, Opts.AndersenOpts);
   Andersen.runOn(Part.Statements);
   std::vector<Cluster> Pieces = andersenClusters(Prog, Andersen, Part);
   AndersenSeconds += TA.seconds();

@@ -26,6 +26,7 @@
 #ifndef BSAA_CORE_BOOTSTRAPDRIVER_H
 #define BSAA_CORE_BOOTSTRAPDRIVER_H
 
+#include "analysis/Andersen.h"
 #include "analysis/Steensgaard.h"
 #include "core/Cluster.h"
 #include "core/RelevantStatements.h"
@@ -87,6 +88,13 @@ struct BootstrapOptions {
   /// Per-cluster FSCS engine options (step budget models the paper's
   /// 15-minute timeout).
   fscs::SummaryEngine::Options EngineOpts;
+
+  /// Solver options for the Andersen refinement stage. Every
+  /// configuration computes identical points-to sets (the knobs trade
+  /// solve time only), but the options still participate in the
+  /// refinement-cache key so cached cluster vectors never masquerade as
+  /// the product of a configuration that did not produce them.
+  analysis::AndersenAnalysis::Options AndersenOpts;
 
   /// Instrumentation hook run at the start of every cluster job (on the
   /// worker thread in threaded runs). Used for progress reporting and,

@@ -83,6 +83,7 @@ AliasService::AliasService(core::BootstrapOptions BOpts, QueryOptions QOptsIn)
   // Keyed adoption and flag semantics require serving to run the exact
   // engine configuration the cascade ran.
   QOpts.EngineOpts = Inc.options().EngineOpts;
+  QOpts.AndersenOpts = Inc.options().AndersenOpts;
 }
 
 core::UpdateReport AliasService::update(std::unique_ptr<ir::Program> NewProg) {

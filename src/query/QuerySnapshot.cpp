@@ -175,7 +175,8 @@ QuerySnapshot::materialize(uint32_t ClusterIdx) const {
 
 const analysis::AndersenAnalysis &QuerySnapshot::andersen() const {
   std::call_once(AndersenOnce, [this] {
-    auto A = std::make_unique<analysis::AndersenAnalysis>(*Prog);
+    auto A = std::make_unique<analysis::AndersenAnalysis>(*Prog,
+                                                          Opts.AndersenOpts);
     A->run();
     AndersenFallback = std::move(A);
   });

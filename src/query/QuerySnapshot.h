@@ -80,6 +80,11 @@ struct QueryOptions {
   /// options the cascade ran with for SummaryCache adoption to hit
   /// (AliasService enforces this).
   fscs::SummaryEngine::Options EngineOpts;
+
+  /// Solver options for the whole-program Andersen fallback. Synced
+  /// from the driver by AliasService so fallback answers come from the
+  /// same solver configuration the cascade's refinement stage used.
+  analysis::AndersenAnalysis::Options AndersenOpts;
 };
 
 /// A may-alias verdict plus its provenance.

@@ -54,8 +54,29 @@ bool SparseBitVector::test(uint32_t Idx) const {
   return (Chunks[Pos].Bits >> (Idx % 64)) & 1;
 }
 
+bool SparseBitVector::covers(const SparseBitVector &Other) const {
+  size_t Lo = 0;
+  for (const Chunk &C : Other.Chunks) {
+    size_t Hi = Chunks.size();
+    while (Lo < Hi) {
+      size_t Mid = Lo + (Hi - Lo) / 2;
+      if (Chunks[Mid].Base < C.Base)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    if (Lo >= Chunks.size() || Chunks[Lo].Base != C.Base ||
+        (C.Bits & ~Chunks[Lo].Bits))
+      return false;
+    ++Lo; // The next Other chunk has a strictly larger base.
+  }
+  return true;
+}
+
 bool SparseBitVector::unionWith(const SparseBitVector &Other) {
   if (Other.Chunks.empty())
+    return false;
+  if (covers(Other))
     return false;
   bool Changed = false;
   std::vector<Chunk> Merged;
@@ -84,6 +105,56 @@ bool SparseBitVector::unionWith(const SparseBitVector &Other) {
   }
   if (Changed)
     Chunks = std::move(Merged);
+  return Changed;
+}
+
+bool SparseBitVector::unionWith(const SparseBitVector &Other,
+                                SparseBitVector &NewBits) {
+  if (Other.Chunks.empty())
+    return false;
+  if (covers(Other))
+    return false;
+  bool Changed = false;
+  std::vector<Chunk> Merged;
+  Merged.reserve(Chunks.size() + Other.Chunks.size());
+  size_t I = 0, J = 0;
+  // The merge scan below emits fresh chunks in ascending base order, so
+  // they are collected into a sorted scratch set and folded into
+  // NewBits with one linear merge at the end -- per-chunk insertion
+  // into the middle of NewBits would go quadratic on wide deltas.
+  SparseBitVector Fresh;
+  auto RecordNew = [&Fresh](uint32_t Base, uint64_t Bits) {
+    if (Bits)
+      Fresh.Chunks.push_back(Chunk{Base, Bits});
+  };
+  while (I < Chunks.size() && J < Other.Chunks.size()) {
+    if (Chunks[I].Base < Other.Chunks[J].Base) {
+      Merged.push_back(Chunks[I++]);
+    } else if (Chunks[I].Base > Other.Chunks[J].Base) {
+      RecordNew(Other.Chunks[J].Base, Other.Chunks[J].Bits);
+      Merged.push_back(Other.Chunks[J++]);
+      Changed = true;
+    } else {
+      uint64_t Fresh = Other.Chunks[J].Bits & ~Chunks[I].Bits;
+      if (Fresh) {
+        RecordNew(Chunks[I].Base, Fresh);
+        Changed = true;
+      }
+      Merged.push_back(Chunk{Chunks[I].Base, Chunks[I].Bits | Fresh});
+      ++I;
+      ++J;
+    }
+  }
+  for (; I < Chunks.size(); ++I)
+    Merged.push_back(Chunks[I]);
+  for (; J < Other.Chunks.size(); ++J) {
+    RecordNew(Other.Chunks[J].Base, Other.Chunks[J].Bits);
+    Merged.push_back(Other.Chunks[J]);
+    Changed = true;
+  }
+  if (Changed)
+    Chunks = std::move(Merged);
+  NewBits.unionWith(Fresh);
   return Changed;
 }
 

@@ -40,6 +40,15 @@ public:
   /// changed. The hot operation of constraint solving.
   bool unionWith(const SparseBitVector &Other);
 
+  /// Union-into that also accumulates the genuinely new elements --
+  /// `Other \ this` before the union -- into \p NewBits. This is what
+  /// difference propagation needs: the caller learns exactly which
+  /// members still have to be walked by downstream constraints, in one
+  /// merge pass instead of a union plus a set difference. Returns true
+  /// if this set changed (equivalently: if anything was added to
+  /// \p NewBits).
+  bool unionWith(const SparseBitVector &Other, SparseBitVector &NewBits);
+
   /// Intersect-into: keeps only elements also in \p Other; returns true if
   /// this set changed.
   bool intersectWith(const SparseBitVector &Other);
@@ -61,6 +70,10 @@ public:
 
   /// Materializes the elements in ascending order.
   std::vector<uint32_t> toVector() const;
+
+  /// Heap bytes held by the chunk storage (statistics; counts live
+  /// chunks, not vector capacity).
+  uint64_t approxBytes() const { return Chunks.size() * sizeof(Chunk); }
 
   /// Calls \p Fn(Element) for each element in ascending order.
   template <typename FnT> void forEach(FnT Fn) const {
@@ -99,6 +112,14 @@ private:
 
   /// Index of the chunk with base \p Base, or the insertion point.
   size_t lowerBound(uint32_t Base) const;
+
+  /// True if every element of \p Other is already present. Unlike
+  /// isSubsetOf this binary-searches per \p Other chunk, so it is
+  /// cheap when \p Other is small and this set is large -- the shape
+  /// of the no-op unions that dominate constraint solving. Both
+  /// unionWith overloads use it to skip the merge allocation entirely
+  /// when nothing would change.
+  bool covers(const SparseBitVector &Other) const;
 };
 
 } // namespace bsaa
