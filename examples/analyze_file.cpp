@@ -13,7 +13,7 @@
 #include "core/BootstrapDriver.h"
 #include "frontend/Diagnostics.h"
 #include "frontend/Lower.h"
-#include "racedetect/RaceDetect.h"
+#include "racecheck/RaceDetect.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -130,14 +130,14 @@ int main(int Argc, char **Argv) {
   for (ir::VarId V = 0; V < P->numVars() && !HasLocks; ++V)
     HasLocks = P->var(V).isLockPointer();
   if (HasLocks) {
-    racedetect::RaceDetector RD(*P);
+    racecheck::RaceDetector RD(*P);
     RD.run();
     std::printf("\nrace detection (%u lock clusters analyzed):\n",
                 uint32_t(RD.lockClusters().size()));
     if (RD.races().empty()) {
       std::printf("  no potential races\n");
     } else {
-      for (const racedetect::Race &Race : RD.races())
+      for (const racecheck::Race &Race : RD.races())
         std::printf("  potential race on %s: L%u vs L%u\n",
                     P->var(Race.SharedVar).Name.c_str(), Race.First,
                     Race.Second);

@@ -26,7 +26,7 @@ const BootstrapResult &
 IncrementalDriver::update(std::unique_ptr<ir::Program> NewProg,
                           UpdateReport *Report) {
   Timer T;
-  std::vector<FunctionFingerprint> NewFPs = functionFingerprints(*NewProg);
+  std::vector<FunctionFingerprint> NewFPs = ir::functionFingerprints(*NewProg);
   ProgramDelta Delta = computeDelta(FuncFPs, NewFPs);
   uint64_t NewPartitionFP = partitionRelevantFingerprint(*NewProg);
 

@@ -104,6 +104,14 @@ public:
   /// constructor included).
   const BootstrapOptions &options() const { return BaseOpts; }
 
+  /// Per-function content fingerprints of the current version, indexed
+  /// by FuncId -- the same vector update() diffed to produce its
+  /// report, so downstream incremental clients (racecheck) key their
+  /// own caches without re-fingerprinting.
+  const std::vector<ir::FunctionFingerprint> &functionFingerprints() const {
+    return FuncFPs;
+  }
+
 private:
   BootstrapOptions BaseOpts;
   std::shared_ptr<ir::Program> Prog;

@@ -33,6 +33,7 @@
 #include "core/IncrementalDriver.h"
 #include "query/QuerySnapshot.h"
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -116,10 +117,21 @@ public:
   const QueryEngine &engine() const { return Engine; }
   core::IncrementalDriver &driver() { return Inc; }
 
+  /// Runs after every publish, on the update() caller's thread, with
+  /// the batch's report and the snapshot just installed. Lets derived
+  /// checkers (racecheck::RaceCheckService) re-derive their verdicts
+  /// in lockstep with the alias layer's snapshot swap.
+  using PostPublishHook = std::function<void(
+      const core::UpdateReport &, std::shared_ptr<const QuerySnapshot>)>;
+  void setPostPublishHook(PostPublishHook Hook) {
+    OnPublish = std::move(Hook);
+  }
+
 private:
   core::IncrementalDriver Inc;
   QueryOptions QOpts;
   QueryEngine Engine;
+  PostPublishHook OnPublish;
 };
 
 } // namespace query

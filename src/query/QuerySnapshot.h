@@ -168,6 +168,13 @@ public:
   const ir::Program &program() const { return *Prog; }
   const std::vector<core::Cluster> &cover() const { return Cover; }
   const QueryOptions &options() const { return Opts; }
+
+  /// The snapshot's own (already solved) call graph and Steensgaard
+  /// view of the program -- for clients that derive invalidation keys
+  /// over the same inputs serving reads (e.g. the race checker's
+  /// cluster scope keys).
+  const ir::CallGraph &callGraph() const { return CG; }
+  const analysis::SteensgaardAnalysis &steensgaard() const { return Steens; }
   SnapshotStats stats() const;
 
 private:

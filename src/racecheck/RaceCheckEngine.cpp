@@ -1,0 +1,464 @@
+//===- racecheck/RaceCheckEngine.cpp - Incremental race checking ----------===//
+
+#include "racecheck/RaceCheckEngine.h"
+
+#include "core/ClusterDependencies.h"
+#include "ir/Dumper.h"
+#include "support/Timer.h"
+#include "support/Worklist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace bsaa;
+using namespace bsaa::racecheck;
+using namespace bsaa::ir;
+
+RaceCheckEngine::RaceCheckEngine(Options OptsIn) : Opts(OptsIn) {}
+
+std::shared_ptr<const RaceReport> RaceCheckEngine::report() const {
+  std::lock_guard<std::mutex> Lock(ReportMutex);
+  return Current;
+}
+
+void RaceCheckEngine::reset() {
+  FactsCache.clear();
+  PrevVars.clear();
+  UpdateOrdinal = 0;
+  std::lock_guard<std::mutex> Lock(ReportMutex);
+  Current.reset();
+}
+
+namespace {
+
+/// Sorted-vector disjointness.
+bool disjointLocksets(const std::vector<std::string> &A,
+                      const std::vector<std::string> &B) {
+  size_t I = 0, J = 0;
+  while (I < A.size() && J < B.size()) {
+    int C = A[I].compare(B[J]);
+    if (C == 0)
+      return false;
+    if (C < 0)
+      ++I;
+    else
+      ++J;
+  }
+  return true;
+}
+
+bool sameSite(const SiteVerdict &A, const SiteVerdict &B) {
+  return A.Func == B.Func && A.LocalIdx == B.LocalIdx &&
+         A.IsWrite == B.IsWrite && A.Degraded == B.Degraded &&
+         A.Stmt == B.Stmt && A.Lockset == B.Lockset;
+}
+
+query::AnswerSource worseRung(query::AnswerSource A, query::AnswerSource B) {
+  return static_cast<uint8_t>(A) >= static_cast<uint8_t>(B) ? A : B;
+}
+
+} // namespace
+
+std::shared_ptr<const RaceCheckEngine::FunctionFacts>
+RaceCheckEngine::computeFacts(const query::QuerySnapshot &Snap, FuncId F,
+                              const std::vector<uint8_t> &IsShared,
+                              const std::vector<LocId> &LockSites) const {
+  const Program &P = Snap.program();
+  const Function &Fn = P.func(F);
+  auto Facts = std::make_shared<FunctionFacts>();
+
+  // Function-local indices: the id-free coordinate system.
+  std::unordered_map<LocId, uint32_t> LocalIdx;
+  LocalIdx.reserve(Fn.Locations.size());
+  for (uint32_t I = 0; I < Fn.Locations.size(); ++I)
+    LocalIdx[Fn.Locations[I]] = I;
+
+  // Resolve each lock site through the snapshot's must-points-to path.
+  // Fallback-served clusters answer Complete=false by construction, so
+  // a BudgetHit degrades every site of the cluster to "unresolved"
+  // here -- never silently dropped.
+  std::unordered_map<uint32_t, std::string> Resolved; // local idx -> name
+  Facts->LockSites = static_cast<uint32_t>(LockSites.size());
+  for (LocId L : LockSites) {
+    const Location &Loc = P.loc(L);
+    query::PointsToAnswer A = Snap.pointsToAt(Loc.Lhs, L);
+    Facts->WorstRung = worseRung(Facts->WorstRung, A.Source);
+    if (A.Complete && A.Objects.size() == 1)
+      Resolved[LocalIdx[L]] = P.var(A.Objects[0]).Name;
+    else
+      ++Facts->Unresolved;
+  }
+  Facts->Degraded = Facts->Unresolved > 0;
+
+  // Forward must-held dataflow over the function body (meet =
+  // intersection). An unresolved site clears the whole set: an unknown
+  // unlock may release anything we believe is held, so clearing is the
+  // under-approximation that can only ADD reported races.
+  uint32_t N = static_cast<uint32_t>(Fn.Locations.size());
+  std::vector<std::set<std::string>> Held(N);
+  std::vector<uint8_t> Reached(N, 0);
+  Worklist WL(N);
+  uint32_t Entry = LocalIdx[Fn.Entry];
+  Reached[Entry] = 1;
+  WL.push(Entry);
+  while (!WL.empty()) {
+    uint32_t LI = WL.pop();
+    const Location &Loc = P.loc(Fn.Locations[LI]);
+    std::set<std::string> Out = Held[LI];
+    if (Loc.Kind == StmtKind::Lock || Loc.Kind == StmtKind::Unlock) {
+      auto It = Resolved.find(LI);
+      if (It == Resolved.end())
+        Out.clear();
+      else if (Loc.Kind == StmtKind::Lock)
+        Out.insert(It->second);
+      else
+        Out.erase(It->second);
+    }
+    for (LocId S : Loc.Succs) {
+      // Succs stay within the owning function.
+      uint32_t SI = LocalIdx[S];
+      bool Changed = false;
+      if (!Reached[SI]) {
+        Reached[SI] = 1;
+        Held[SI] = Out;
+        Changed = true;
+      } else {
+        std::set<std::string> Met;
+        std::set_intersection(Held[SI].begin(), Held[SI].end(), Out.begin(),
+                              Out.end(), std::inserter(Met, Met.begin()));
+        if (Met != Held[SI]) {
+          Held[SI] = std::move(Met);
+          Changed = true;
+        }
+      }
+      if (Changed)
+        WL.push(SI);
+    }
+  }
+
+  // Shared-variable access sites with the lockset held on entry to the
+  // access (in layout order -- deterministic).
+  for (uint32_t I = 0; I < N; ++I) {
+    const Location &Loc = P.loc(Fn.Locations[I]);
+    if (!Loc.isPointerAssign())
+      continue;
+    auto Add = [&](VarId V, bool Write) {
+      AccessFact A;
+      A.LocalIdx = I;
+      A.Var = P.var(V).Name;
+      A.IsWrite = Write;
+      A.Lockset.assign(Held[I].begin(), Held[I].end());
+      Facts->Accesses.push_back(std::move(A));
+    };
+    if (Loc.Lhs != InvalidVar && IsShared[Loc.Lhs])
+      Add(Loc.Lhs, true);
+    if (Loc.Rhs != InvalidVar && Loc.Kind == StmtKind::Copy &&
+        IsShared[Loc.Rhs] && Loc.Rhs != Loc.Lhs)
+      Add(Loc.Rhs, false);
+  }
+  return Facts;
+}
+
+CheckReport
+RaceCheckEngine::check(std::shared_ptr<const query::QuerySnapshot> Snap,
+                       const core::UpdateReport *Update,
+                       const std::vector<FunctionFingerprint> *FPs) {
+  assert(Snap && "check() needs a snapshot");
+  Timer T;
+  CheckReport CR;
+  if (Update)
+    CR.Update = *Update;
+  bool FirstCheck = UpdateOrdinal == 0;
+  ++UpdateOrdinal;
+
+  const query::QuerySnapshot &S = *Snap;
+  const Program &P = S.program();
+  const CallGraph &CG = S.callGraph();
+  CR.Functions = P.numFuncs();
+
+  // Shared variables: global plain ints.
+  std::vector<uint8_t> IsShared(P.numVars(), 0);
+  std::vector<std::string> SharedNames;
+  for (VarId V = 0; V < P.numVars(); ++V) {
+    const Variable &Var = P.var(V);
+    if (Var.Kind == VarKind::Global && !Var.isPointer() &&
+        Var.Base == BaseType::Int) {
+      IsShared[V] = 1;
+      SharedNames.push_back(Var.Name);
+    }
+  }
+  std::sort(SharedNames.begin(), SharedNames.end());
+  support::ContentHasher SH;
+  SH.str("bsaa-shared-set");
+  for (const std::string &Name : SharedNames)
+    SH.str(Name);
+  support::Digest SharedDigest = SH.digest();
+
+  // Lock clusters, via the inverted pointer->cluster index: the only
+  // clusters this checker ever consults (the paper's Section 1 claim).
+  std::set<uint32_t> LockClusterIdxs;
+  for (VarId V = 0; V < P.numVars(); ++V)
+    if (P.var(V).isLockPointer())
+      for (uint32_t CI : S.clustersOf(V))
+        LockClusterIdxs.insert(CI);
+  CR.LockClusters = static_cast<uint32_t>(LockClusterIdxs.size());
+
+  // Per lock cluster: dependency-scope digest + fallback flag + member
+  // names. Scope-key equality across versions means the FSCS walk
+  // observes identical inputs; the member names pin the object names a
+  // resolution can return (scope content hashes raw ids, not names).
+  std::unordered_map<uint32_t, support::Digest> ClusterKeys;
+  auto clusterKeyOf = [&](uint32_t CI) -> const support::Digest & {
+    auto It = ClusterKeys.find(CI);
+    if (It == ClusterKeys.end()) {
+      const core::Cluster &C = S.cover()[CI];
+      support::Digest Scope = core::clusterScopeKey(
+          P, CG, S.steensgaard(), C, S.options().EngineOpts);
+      std::set<std::string> Names;
+      for (VarId M : C.Members)
+        Names.insert(P.var(M).Name);
+      for (const ir::Ref &R : C.TrackedRefs)
+        if (R.valid())
+          Names.insert(P.var(R.Var).Name);
+      support::ContentHasher H;
+      H.u64(Scope.Hi).u64(Scope.Lo).boolean(S.clusterNeedsFallback(CI));
+      for (const std::string &Name : Names)
+        H.str(Name);
+      It = ClusterKeys.emplace(CI, H.digest()).first;
+    }
+    return It->second;
+  };
+
+  // Lock sites grouped by owning function.
+  std::vector<std::vector<LocId>> SitesByFunc(P.numFuncs());
+  for (LocId L = 0; L < P.numLocs(); ++L) {
+    const Location &Loc = P.loc(L);
+    if (Loc.Kind == StmtKind::Lock || Loc.Kind == StmtKind::Unlock) {
+      SitesByFunc[Loc.Owner].push_back(L);
+      ++CR.LockSites;
+    }
+  }
+
+  // Function fingerprints: adopt the driver's, or compute locally.
+  std::vector<FunctionFingerprint> OwnFPs;
+  if (!FPs) {
+    OwnFPs = functionFingerprints(P);
+    FPs = &OwnFPs;
+  }
+  assert(FPs->size() == P.numFuncs() && "fingerprints misaligned");
+
+  // Invalidation prediction from the function->clusters dependency
+  // index (accounting; the facts-cache keys are the mechanism). An
+  // edit to function G invalidates: G itself, and every function with
+  // a lock site in a cluster whose dependency cone contains G.
+  if (FirstCheck) {
+    CR.PredictedInvalidated = P.numFuncs();
+  } else if (Update) {
+    std::set<FuncId> Edited;
+    for (const std::string &Name : Update->ChangedFunctions)
+      if (P.findFunction(Name) != InvalidFunc)
+        Edited.insert(P.findFunction(Name));
+    for (const std::string &Name : Update->AddedFunctions)
+      if (P.findFunction(Name) != InvalidFunc)
+        Edited.insert(P.findFunction(Name));
+    std::set<FuncId> Invalidated = Edited;
+    if (!Edited.empty()) {
+      for (uint32_t CI : LockClusterIdxs) {
+        std::vector<FuncId> Cone =
+            core::dependentFunctions(P, CG, S.cover()[CI]);
+        bool Touched = false;
+        for (FuncId F : Cone)
+          if (Edited.count(F)) {
+            Touched = true;
+            break;
+          }
+        if (!Touched)
+          continue;
+        for (FuncId F = 0; F < P.numFuncs(); ++F)
+          if (!SitesByFunc[F].empty())
+            Invalidated.insert(F);
+      }
+    }
+    CR.PredictedInvalidated = static_cast<uint32_t>(Invalidated.size());
+  }
+
+  // Caller closure digest: a must-points-to query at a site in F can
+  // ascend into callers*(F), so their bodies are inputs to F's facts.
+  auto callerClosureDigest = [&](FuncId F) {
+    std::vector<uint8_t> In(P.numFuncs(), 0);
+    std::vector<FuncId> Stack{F};
+    In[F] = 1;
+    std::vector<FuncId> Closure;
+    while (!Stack.empty()) {
+      FuncId G = Stack.back();
+      Stack.pop_back();
+      Closure.push_back(G);
+      for (FuncId C : CG.callers(G))
+        if (!In[C]) {
+          In[C] = 1;
+          Stack.push_back(C);
+        }
+    }
+    std::vector<std::pair<std::string, support::Digest>> Pairs;
+    Pairs.reserve(Closure.size());
+    for (FuncId G : Closure)
+      Pairs.push_back({(*FPs)[G].Name, (*FPs)[G].Content});
+    std::sort(Pairs.begin(), Pairs.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    support::ContentHasher H;
+    for (auto &Pr : Pairs)
+      H.str(Pr.first).u64(Pr.second.Hi).u64(Pr.second.Lo);
+    return H.digest();
+  };
+
+  // Per-function facts: replay from the content-keyed cache or
+  // recompute.
+  std::vector<std::shared_ptr<const FunctionFacts>> AllFacts(P.numFuncs());
+  for (FuncId F = 0; F < P.numFuncs(); ++F) {
+    support::ContentHasher H;
+    H.str("bsaa-race-facts");
+    H.u64((*FPs)[F].Content.Hi).u64((*FPs)[F].Content.Lo);
+    H.u64(SharedDigest.Hi).u64(SharedDigest.Lo);
+    if (!SitesByFunc[F].empty()) {
+      support::Digest Callers = callerClosureDigest(F);
+      H.u64(Callers.Hi).u64(Callers.Lo);
+      for (LocId L : SitesByFunc[F]) {
+        const Location &Loc = P.loc(L);
+        H.boolean(Loc.Kind == StmtKind::Lock);
+        H.str(P.var(Loc.Lhs).Name);
+        for (uint32_t CI : S.clustersOf(Loc.Lhs)) {
+          const support::Digest &CK = clusterKeyOf(CI);
+          H.u64(CK.Hi).u64(CK.Lo);
+        }
+      }
+    }
+    support::Digest Key = H.digest();
+    auto It = FactsCache.find(Key);
+    if (It != FactsCache.end()) {
+      It->second.LastUsed = UpdateOrdinal;
+      AllFacts[F] = It->second.Facts;
+      ++CR.FunctionsFromCache;
+    } else {
+      AllFacts[F] = computeFacts(S, F, IsShared, SitesByFunc[F]);
+      FactsCache[Key] = {AllFacts[F], UpdateOrdinal};
+      ++CR.FunctionsChecked;
+    }
+    CR.UnresolvedLockSites += AllFacts[F]->Unresolved;
+  }
+
+  // Access-site index: shared variable -> every access site, in
+  // (function id, layout) order -- deterministic, and identical
+  // between a cold run and an incremental replay over the same
+  // program.
+  std::map<std::string, VarSites> Vars;
+  uint32_t DegradedFunctions = 0;
+  for (FuncId F = 0; F < P.numFuncs(); ++F) {
+    const FunctionFacts &Facts = *AllFacts[F];
+    if (Facts.Degraded)
+      ++DegradedFunctions;
+    const Function &Fn = P.func(F);
+    for (const AccessFact &A : Facts.Accesses) {
+      SiteVerdict V;
+      V.Func = Fn.Name;
+      V.LocalIdx = A.LocalIdx;
+      V.Stmt = dumpStatement(P, Fn.Locations[A.LocalIdx]);
+      V.IsWrite = A.IsWrite;
+      V.Lockset = A.Lockset;
+      V.Degraded = Facts.Degraded;
+      VarSites &E = Vars[A.Var];
+      E.Sites.push_back(std::move(V));
+      E.Rungs.push_back(Facts.WorstRung);
+    }
+  }
+
+  // Verdicts per variable; a variable whose site vector is unchanged
+  // reuses its ranked warnings from the previous round.
+  auto NewReport = std::make_shared<RaceReport>();
+  NewReport->SharedVariables = static_cast<uint32_t>(SharedNames.size());
+  NewReport->LockClusters = CR.LockClusters;
+  NewReport->DegradedFunctions = DegradedFunctions;
+  for (auto &[Var, E] : Vars) {
+    auto PrevIt = PrevVars.find(Var);
+    bool Reusable = PrevIt != PrevVars.end() &&
+                    PrevIt->second.Rungs == E.Rungs &&
+                    PrevIt->second.Sites.size() == E.Sites.size();
+    if (Reusable)
+      for (size_t I = 0; I < E.Sites.size(); ++I)
+        if (!sameSite(PrevIt->second.Sites[I], E.Sites[I])) {
+          Reusable = false;
+          break;
+        }
+    if (Reusable) {
+      E.Warnings = PrevIt->second.Warnings;
+    } else {
+      for (size_t I = 0; I < E.Sites.size(); ++I) {
+        for (size_t J = I + 1; J < E.Sites.size(); ++J) {
+          const SiteVerdict &A = E.Sites[I];
+          const SiteVerdict &B = E.Sites[J];
+          if (!A.IsWrite && !B.IsWrite)
+            continue;
+          if (!disjointLocksets(A.Lockset, B.Lockset))
+            continue;
+          RaceWarning W;
+          W.Var = Var;
+          W.A = A;
+          W.B = B;
+          W.Source = worseRung(E.Rungs[I], E.Rungs[J]);
+          W.Id = warningId(Var, A.Func, A.LocalIdx, A.IsWrite, B.Func,
+                           B.LocalIdx, B.IsWrite);
+          W.Severity =
+              warningSeverity(W, static_cast<uint32_t>(E.Sites.size()));
+          E.Warnings.push_back(std::move(W));
+        }
+      }
+    }
+    NewReport->Warnings.insert(NewReport->Warnings.end(), E.Warnings.begin(),
+                               E.Warnings.end());
+  }
+  rankWarnings(NewReport->Warnings);
+  PrevVars = std::move(Vars);
+
+  // Diff against the previous verdicts and publish atomically.
+  std::shared_ptr<const RaceReport> Old = report();
+  RaceReport Empty;
+  CR.Delta = diffReports(Old ? *Old : Empty, *NewReport);
+  CR.Warnings = static_cast<uint32_t>(NewReport->Warnings.size());
+  CR.WarningsAdded = static_cast<uint32_t>(CR.Delta.Added.size());
+  CR.WarningsRetracted = static_cast<uint32_t>(CR.Delta.Retracted.size());
+  {
+    std::lock_guard<std::mutex> Lock(ReportMutex);
+    Current = std::move(NewReport);
+  }
+
+  // Evict facts that sat unused past the horizon.
+  for (auto It = FactsCache.begin(); It != FactsCache.end();)
+    if (It->second.LastUsed + Opts.FactsKeepUpdates < UpdateOrdinal)
+      It = FactsCache.erase(It);
+    else
+      ++It;
+
+  CR.CheckSeconds = T.seconds();
+  return CR;
+}
+
+//===----------------------------------------------------------------------===//
+// RaceCheckService
+//===----------------------------------------------------------------------===//
+
+RaceCheckService::RaceCheckService(core::BootstrapOptions BOpts,
+                                   query::QueryOptions QOpts,
+                                   RaceCheckEngine::Options EOpts)
+    : Service(std::move(BOpts), std::move(QOpts)), Eng(EOpts) {
+  Service.setPostPublishHook(
+      [this](const core::UpdateReport &U,
+             std::shared_ptr<const query::QuerySnapshot> Snap) {
+        Last = Eng.check(std::move(Snap), &U,
+                         &Service.driver().functionFingerprints());
+      });
+}
+
+CheckReport RaceCheckService::update(std::unique_ptr<ir::Program> NewProg) {
+  Service.update(std::move(NewProg));
+  return Last;
+}

@@ -1,6 +1,6 @@
-//===- racedetect/RaceDetect.cpp - Lockset-based race detection -----------===//
+//===- racecheck/RaceDetect.cpp - Lockset-based race detection ------------===//
 
-#include "racedetect/RaceDetect.h"
+#include "racecheck/RaceDetect.h"
 
 #include "core/RelevantStatements.h"
 #include "fscs/ClusterAliasAnalysis.h"
@@ -10,7 +10,7 @@
 #include <cassert>
 
 using namespace bsaa;
-using namespace bsaa::racedetect;
+using namespace bsaa::racecheck;
 using namespace bsaa::ir;
 
 RaceDetector::RaceDetector(const Program &P, Options Opts)
@@ -49,7 +49,15 @@ void RaceDetector::findLockClusters() {
 
 void RaceDetector::resolveLockOperations() {
   // Group lock/unlock locations by the cluster of their operand, then
-  // resolve each to a concrete lock object via must-points-to.
+  // resolve each to a concrete lock object via must-points-to. Every
+  // lock operation is counted, even when its cluster's FSCS run hits
+  // the step budget: unresolved sites are never dropped silently --
+  // computeLocksets() degrades them to "clears the lockset".
+  for (LocId L = 0; L < Prog.numLocs(); ++L) {
+    const Location &Loc = Prog.loc(L);
+    if (Loc.Kind == StmtKind::Lock || Loc.Kind == StmtKind::Unlock)
+      ++NumLockOps;
+  }
   for (core::Cluster &C : LockClusters) {
     fscs::SummaryEngine::Options EngineOpts;
     EngineOpts.StepBudget = Opts.StepBudget;
@@ -62,17 +70,24 @@ void RaceDetector::resolveLockOperations() {
         continue;
       fscs::ClusterAliasAnalysis::PointsToResult R =
           AA.pointsTo(Loc.Lhs, L);
-      if (R.Complete && R.Objects.size() == 1)
+      if (R.Complete && R.Objects.size() == 1) {
         ResolvedLocks[L] = R.Objects[0];
+        ++NumResolved;
+      }
     }
   }
 }
 
 void RaceDetector::computeLocksets() {
   // Forward must-held dataflow per function: meet is intersection,
-  // Lock adds its resolved object, Unlock removes it. An unresolved
-  // lock operation contributes nothing (conservative for race
-  // *finding*: fewer held locks, more reported pairs).
+  // Lock adds its resolved object, Unlock removes it. An UNRESOLVED
+  // lock operation clears the whole set: an unknown unlock may release
+  // any lock we believe is held, so keeping the set would over-claim
+  // protection and hide races (the unsound direction). Clearing
+  // under-approximates the held set, which can only ADD reported
+  // pairs -- the sound degradation for a race finder. The same rule
+  // applies to an unresolved lock for uniformity ("unknown lock op =>
+  // empty lockset"); it too only shrinks locksets.
   uint32_t N = Prog.numLocs();
   Held.assign(N, {});
   std::vector<uint8_t> Reached(N, 0);
@@ -87,11 +102,15 @@ void RaceDetector::computeLocksets() {
       const Location &Loc = Prog.loc(L);
       // Out-set of L.
       std::set<VarId> Out = Held[L];
-      auto It = ResolvedLocks.find(L);
-      if (Loc.Kind == StmtKind::Lock && It != ResolvedLocks.end())
-        Out.insert(It->second);
-      if (Loc.Kind == StmtKind::Unlock && It != ResolvedLocks.end())
-        Out.erase(It->second);
+      if (Loc.Kind == StmtKind::Lock || Loc.Kind == StmtKind::Unlock) {
+        auto It = ResolvedLocks.find(L);
+        if (It == ResolvedLocks.end())
+          Out.clear();
+        else if (Loc.Kind == StmtKind::Lock)
+          Out.insert(It->second);
+        else
+          Out.erase(It->second);
+      }
 
       for (LocId S : Loc.Succs) {
         bool Changed = false;
@@ -119,7 +138,8 @@ void RaceDetector::computeLocksets() {
 
 void RaceDetector::findRaces() {
   // Shared variables: global plain ints. Accesses: any statement
-  // reading or writing one.
+  // reading or writing one. A pair races when the locksets are
+  // disjoint and at least one side writes.
   std::vector<uint8_t> IsShared(Prog.numVars(), 0);
   for (VarId V = 0; V < Prog.numVars(); ++V) {
     const Variable &Var = Prog.var(V);
@@ -130,23 +150,29 @@ void RaceDetector::findRaces() {
     }
   }
 
-  std::map<VarId, std::vector<LocId>> Accesses;
+  struct Access {
+    LocId L;
+    bool Write;
+  };
+  std::map<VarId, std::vector<Access>> Accesses;
   for (LocId L = 0; L < Prog.numLocs(); ++L) {
     const Location &Loc = Prog.loc(L);
     if (!Loc.isPointerAssign())
       continue;
     if (Loc.Lhs != InvalidVar && IsShared[Loc.Lhs])
-      Accesses[Loc.Lhs].push_back(L);
+      Accesses[Loc.Lhs].push_back({L, true});
     if (Loc.Rhs != InvalidVar && Loc.Kind == StmtKind::Copy &&
-        IsShared[Loc.Rhs])
-      Accesses[Loc.Rhs].push_back(L);
+        IsShared[Loc.Rhs] && Loc.Rhs != Loc.Lhs)
+      Accesses[Loc.Rhs].push_back({L, false});
   }
 
-  for (auto &[Var, Locs] : Accesses) {
-    for (size_t I = 0; I < Locs.size(); ++I) {
-      for (size_t J = I + 1; J < Locs.size(); ++J) {
-        const std::set<VarId> &A = Held[Locs[I]];
-        const std::set<VarId> &B = Held[Locs[J]];
+  for (auto &[Var, Sites] : Accesses) {
+    for (size_t I = 0; I < Sites.size(); ++I) {
+      for (size_t J = I + 1; J < Sites.size(); ++J) {
+        if (!Sites[I].Write && !Sites[J].Write)
+          continue;
+        const std::set<VarId> &A = Held[Sites[I].L];
+        const std::set<VarId> &B = Held[Sites[J].L];
         bool Disjoint = true;
         for (VarId L : A)
           if (B.count(L)) {
@@ -154,7 +180,7 @@ void RaceDetector::findRaces() {
             break;
           }
         if (Disjoint)
-          Races.push_back(Race{Var, Locs[I], Locs[J]});
+          Races.push_back(Race{Var, Sites[I].L, Sites[J].L});
       }
     }
   }

@@ -1,4 +1,4 @@
-//===- racedetect/RaceDetect.h - Lockset-based race detection ---*- C++ -*-===//
+//===- racecheck/RaceDetect.h - Lockset-based race detection ----*- C++ -*-===//
 //
 // Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
 //
@@ -18,14 +18,22 @@
 ///     object with the FSCS engine's must-points-to (complete singleton
 ///     origin set);
 ///  3. run a forward lockset dataflow (intersection at joins) per
-///     function;
-///  4. report pairs of shared-variable accesses whose locksets are
-///     disjoint.
+///     function -- any lock operation whose object could NOT be
+///     resolved (ambiguous points-to, or a StepBudget hit truncating
+///     the FSCS run) clears the whole must-held set, because an unknown
+///     unlock may release any lock we believe is held. Under-
+///     approximating the held set is the sound direction for race
+///     *finding*: it can only add reported pairs, never hide one;
+///  4. report pairs of shared-variable accesses, at least one a write,
+///     whose locksets are disjoint.
+///
+/// This is the batch entry point (one shot over one program). The
+/// incremental, serving-stack-backed checker lives in RaceCheckEngine.h.
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef BSAA_RACEDETECT_RACEDETECT_H
-#define BSAA_RACEDETECT_RACEDETECT_H
+#ifndef BSAA_RACECHECK_RACEDETECT_H
+#define BSAA_RACECHECK_RACEDETECT_H
 
 #include "analysis/Steensgaard.h"
 #include "core/Cluster.h"
@@ -37,10 +45,10 @@
 #include <vector>
 
 namespace bsaa {
-namespace racedetect {
+namespace racecheck {
 
 /// A potential race: two accesses to the same shared variable with
-/// disjoint locksets.
+/// disjoint locksets, at least one of them a write.
 struct Race {
   ir::VarId SharedVar = ir::InvalidVar;
   ir::LocId First = ir::InvalidLoc;
@@ -80,6 +88,14 @@ public:
   /// Shared variables the detector considered.
   const std::vector<ir::VarId> &sharedVariables() const { return Shared; }
 
+  /// Total lock/unlock locations in the program.
+  uint32_t lockOps() const { return NumLockOps; }
+
+  /// Lock/unlock locations whose object could not be resolved to a
+  /// must-points-to singleton (each clears the lockset where it
+  /// executes). Nonzero means verdicts degraded conservatively.
+  uint32_t unresolvedLockOps() const { return NumLockOps - NumResolved; }
+
 private:
   void findLockClusters();
   void resolveLockOperations();
@@ -97,10 +113,12 @@ private:
   std::vector<ir::VarId> Shared;
   std::vector<Race> Races;
   std::set<ir::VarId> EmptySet;
+  uint32_t NumLockOps = 0;
+  uint32_t NumResolved = 0;
   bool HasRun = false;
 };
 
-} // namespace racedetect
+} // namespace racecheck
 } // namespace bsaa
 
-#endif // BSAA_RACEDETECT_RACEDETECT_H
+#endif // BSAA_RACECHECK_RACEDETECT_H

@@ -1,0 +1,160 @@
+//===- racecheck/RaceReport.cpp - Ranked, diffable race verdicts ----------===//
+
+#include "racecheck/RaceReport.h"
+
+#include "support/ContentHash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <unordered_set>
+
+using namespace bsaa;
+using namespace bsaa::racecheck;
+
+const RaceWarning *RaceReport::findById(const std::string &Id) const {
+  for (const RaceWarning &W : Warnings)
+    if (W.Id == Id)
+      return &W;
+  return nullptr;
+}
+
+std::string racecheck::warningId(const std::string &Var,
+                                 const std::string &FuncA, uint32_t IdxA,
+                                 bool WriteA, const std::string &FuncB,
+                                 uint32_t IdxB, bool WriteB) {
+  // Canonical site order so the ID is orientation-free.
+  bool Swap = std::tie(FuncB, IdxB) < std::tie(FuncA, IdxA);
+  const std::string &F1 = Swap ? FuncB : FuncA;
+  const std::string &F2 = Swap ? FuncA : FuncB;
+  uint32_t I1 = Swap ? IdxB : IdxA;
+  uint32_t I2 = Swap ? IdxA : IdxB;
+  bool W1 = Swap ? WriteB : WriteA;
+  bool W2 = Swap ? WriteA : WriteB;
+
+  support::ContentHasher H;
+  H.str("bsaa-race-warning")
+      .str(Var)
+      .str(F1)
+      .u32(I1)
+      .boolean(W1)
+      .str(F2)
+      .u32(I2)
+      .boolean(W2);
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H.digest().Lo));
+  return std::string(Buf);
+}
+
+uint32_t racecheck::warningSeverity(const RaceWarning &W,
+                                    uint32_t VarAccessSites) {
+  // Hot variables dominate; verdict quality breaks ties.
+  uint32_t Sev = 100 * std::min<uint32_t>(VarAccessSites, 1000);
+  if (W.A.IsWrite && W.B.IsWrite)
+    Sev += 50; // Write-write: definite corruption if real.
+  if (!W.A.Degraded && !W.B.Degraded)
+    Sev += 25; // Fully must-resolved locks: high-confidence verdict.
+  if (W.Source == query::AnswerSource::Fscs)
+    Sev += 10; // Strongest cascade rung backed the resolution.
+  return Sev;
+}
+
+void racecheck::rankWarnings(std::vector<RaceWarning> &Warnings) {
+  std::sort(Warnings.begin(), Warnings.end(),
+            [](const RaceWarning &A, const RaceWarning &B) {
+              if (A.Severity != B.Severity)
+                return A.Severity > B.Severity;
+              return A.Id < B.Id;
+            });
+}
+
+ReportDelta racecheck::diffReports(const RaceReport &Old,
+                                   const RaceReport &New) {
+  ReportDelta D;
+  std::unordered_set<std::string> OldIds, NewIds;
+  for (const RaceWarning &W : Old.Warnings)
+    OldIds.insert(W.Id);
+  for (const RaceWarning &W : New.Warnings)
+    NewIds.insert(W.Id);
+  for (const RaceWarning &W : New.Warnings)
+    if (!OldIds.count(W.Id))
+      D.Added.push_back(W);
+  for (const RaceWarning &W : Old.Warnings)
+    if (!NewIds.count(W.Id))
+      D.Retracted.push_back(W);
+  return D;
+}
+
+namespace {
+
+void appendEscaped(std::ostringstream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+void appendSite(std::ostringstream &OS, const SiteVerdict &S) {
+  OS << "{\"func\": ";
+  appendEscaped(OS, S.Func);
+  OS << ", \"site\": " << S.LocalIdx << ", \"stmt\": ";
+  appendEscaped(OS, S.Stmt);
+  OS << ", \"write\": " << (S.IsWrite ? "true" : "false")
+     << ", \"degraded\": " << (S.Degraded ? "true" : "false")
+     << ", \"lockset\": [";
+  for (size_t I = 0; I < S.Lockset.size(); ++I) {
+    if (I)
+      OS << ", ";
+    appendEscaped(OS, S.Lockset[I]);
+  }
+  OS << "]}";
+}
+
+} // namespace
+
+std::string racecheck::toReportJson(const RaceReport &R) {
+  std::ostringstream OS;
+  OS << "{\"racecheck\": {\"shared_variables\": " << R.SharedVariables
+     << ", \"lock_clusters\": " << R.LockClusters
+     << ", \"degraded_functions\": " << R.DegradedFunctions
+     << ", \"warnings\": [";
+  for (size_t I = 0; I < R.Warnings.size(); ++I) {
+    const RaceWarning &W = R.Warnings[I];
+    if (I)
+      OS << ", ";
+    OS << "{\"id\": \"" << W.Id << "\", \"severity\": " << W.Severity
+       << ", \"var\": ";
+    appendEscaped(OS, W.Var);
+    OS << ", \"source\": \"" << query::answerSourceName(W.Source)
+       << "\", \"a\": ";
+    appendSite(OS, W.A);
+    OS << ", \"b\": ";
+    appendSite(OS, W.B);
+    OS << "}";
+  }
+  OS << "]}}";
+  return OS.str();
+}

@@ -264,6 +264,37 @@ void emitLockStatements(GenState &G, const std::string &Indent) {
   G.OS << Indent << "unlock(" << L << ");\n";
 }
 
+/// LockDensity > 0: critical sections over the shared variables.
+/// Every structural choice (section count, accesses per section,
+/// read-vs-write, unprotected trailer) rides the structure stream so a
+/// Mutate edit keeps the lowered shape -- and with it every
+/// VarId/LocId -- while the operand stream re-draws which lock guards
+/// which variable, the verdict-flipping half of the edit.
+void emitLockSections(GenState &G, uint32_t Comm) {
+  const GeneratorConfig &Cfg = G.Cfg;
+  if (G.LockPtrs.empty() || Cfg.LockDensity == 0)
+    return;
+  uint32_t Sections = 1 + G.pickS(Cfg.LockDensity);
+  for (uint32_t S = 0; S < Sections; ++S) {
+    const std::string &L = pickName(G, G.LockPtrs);
+    G.OS << "  lock(" << L << ");\n";
+    uint32_t Accesses = 1 + G.pickS(2);
+    for (uint32_t A = 0; A < Accesses; ++A) {
+      if (G.SharedVars.empty())
+        continue;
+      if (G.chanceS(70))
+        G.OS << "  " << pickName(G, G.SharedVars) << " = " << (1 + A)
+             << ";\n";
+      else
+        G.OS << "  " << pickName(G, G.Comms[Comm].Objects) << " = "
+             << pickName(G, G.SharedVars) << ";\n";
+    }
+    G.OS << "  unlock(" << L << ");\n";
+    if (!G.SharedVars.empty() && G.chanceS(30))
+      G.OS << "  " << pickName(G, G.SharedVars) << " = 0;\n";
+  }
+}
+
 /// A stubbed body: the minimal legal body for the signature. Stubs are
 /// version-independent on purpose -- mutating a stubbed function is a
 /// no-op, which the edit-stream generator avoids anyway.
@@ -486,7 +517,9 @@ std::string workload::generateProgram(const GeneratorConfig &Cfg,
     }
     emitBlockBody(G, Locals, Comm, F, NumFuncs,
                   std::max<uint32_t>(1, Cfg.StmtsPerFunction), 0, Ptr);
-    if (Cfg.LockPointers && F % 4 == 0)
+    if (Cfg.LockPointers && Cfg.LockDensity > 0)
+      emitLockSections(G, Comm);
+    else if (Cfg.LockPointers && F % 4 == 0)
       emitLockStatements(G, "  ");
     if (Ptr)
       G.OS << "  return " << pickPtr(G, Locals, Comm) << ";\n";
@@ -531,7 +564,9 @@ std::string workload::generateProgram(const GeneratorConfig &Cfg,
     G.OS << "  " << pickName(G, G.Comms[Comm].Ptrs) << " = f" << F << "("
          << pickName(G, G.Comms[Comm].Ptrs) << ");\n";
   }
-  if (Cfg.LockPointers)
+  if (Cfg.LockPointers && Cfg.LockDensity > 0)
+    emitLockSections(G, 0);
+  else if (Cfg.LockPointers)
     emitLockStatements(G, "  ");
   G.OS << "}\n";
 

@@ -97,6 +97,19 @@ struct GeneratorConfig {
   uint32_t LockPointers = 0;
   uint32_t SharedVariables = 0; ///< Globals accessed under locks.
 
+  /// Race-checking workload density. 0 keeps the legacy emission (one
+  /// lock(L); write; unlock(L) triple in main and every 4th function).
+  /// N > 0 gives every non-stubbed function (and main) 1..N critical
+  /// sections -- lock(L); shared reads/writes; unlock(L) -- plus
+  /// occasional *unprotected* shared accesses, so generated programs
+  /// carry real races. Section count, access count and read-vs-write
+  /// choices ride the structure stream (shape, hence VarId/LocId
+  /// layout, is identical across Mutate versions); *which* lock guards
+  /// *which* shared variable rides the operand stream, so a Mutate
+  /// edit can re-protect or un-protect a variable -- exactly the edits
+  /// that must flip race verdicts incrementally.
+  uint32_t LockDensity = 0;
+
   /// Emit fptr_t-based indirect calls.
   bool FunctionPointers = false;
   /// Emit struct declarations and field accesses.

@@ -1,0 +1,669 @@
+//===- tests/test_racecheck.cpp - Race checker tests ----------------------===//
+//
+// The race-checking module's dedicated suite: lockset transfer/join
+// units and the batch RaceDetector regressions (including the
+// StepBudget soundness direction), the incremental RaceCheckEngine
+// (differential oracle against a cold batch run over 50-edit streams,
+// engine-vs-batch cross-check, facts-cache replay, stable warning IDs,
+// report determinism), and the RaceReport primitives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Diagnostics.h"
+#include "frontend/Lower.h"
+#include "racecheck/RaceCheckEngine.h"
+#include "racecheck/RaceDetect.h"
+#include "racecheck/RaceReport.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+
+using namespace bsaa;
+using namespace bsaa::racecheck;
+
+namespace {
+
+std::unique_ptr<ir::Program> compileOk(const std::string &Src) {
+  frontend::Diagnostics Diags;
+  auto P = frontend::compileString(Src, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.toString();
+  return P;
+}
+
+/// The editable incremental workload plus race-bearing lock sections.
+workload::GeneratorConfig raceConfig(uint32_t NumFunctions, uint64_t Seed) {
+  workload::GeneratorConfig Cfg;
+  Cfg.Seed = Seed;
+  Cfg.NumFunctions = NumFunctions;
+  Cfg.StmtsPerFunction = 10;
+  Cfg.Communities = 4;
+  Cfg.PointerFunctionPercent = 60;
+  Cfg.WeightNoise = 20;
+  Cfg.WeightCall = 4;
+  Cfg.RecursionPercent = 0;
+  Cfg.CrossCommunityBasisPoints = 0;
+  Cfg.LockPointers = 3;
+  Cfg.SharedVariables = 3;
+  Cfg.LockDensity = 2;
+  return Cfg;
+}
+
+core::BootstrapOptions baseOptions() {
+  core::BootstrapOptions Opts;
+  Opts.AndersenThreshold = 60;
+  Opts.EngineOpts.StepBudget = 50000;
+  return Opts;
+}
+
+/// The verdict set a cold batch run produces: a fresh service (fresh
+/// driver, fresh caches, fresh engine) over the current version.
+std::string coldReportJson(const workload::GeneratorConfig &Cfg,
+                           const workload::EditState &St,
+                           const core::BootstrapOptions &Opts) {
+  RaceCheckService Cold(Opts);
+  Cold.update(compileOk(workload::generateProgram(Cfg, St)));
+  return toReportJson(*Cold.report());
+}
+
+/// The \p N-th (0-based, in LocId order) write to global \p Name.
+ir::LocId nthWrite(const ir::Program &P, const std::string &Name,
+                   uint32_t N) {
+  ir::VarId V = P.findVariable(Name);
+  EXPECT_NE(V, ir::InvalidVar);
+  uint32_t Seen = 0;
+  for (ir::LocId L = 0; L < P.numLocs(); ++L)
+    if (P.loc(L).isPointerAssign() && P.loc(L).Lhs == V)
+      if (Seen++ == N)
+        return L;
+  ADD_FAILURE() << "no write #" << N << " to " << Name;
+  return ir::InvalidLoc;
+}
+
+/// Canonical id-free key of a race: var plus the orientation-free site
+/// pair, comparable between the batch detector and the engine.
+std::string siteKey(const ir::Program &P, ir::LocId L) {
+  const ir::Function &Fn = P.func(P.loc(L).Owner);
+  for (uint32_t I = 0; I < Fn.Locations.size(); ++I)
+    if (Fn.Locations[I] == L)
+      return Fn.Name + ":" + std::to_string(I);
+  ADD_FAILURE() << "location " << L << " not in its owner's layout";
+  return "?";
+}
+
+std::string raceKey(const std::string &Var, std::string A, std::string B) {
+  if (B < A)
+    std::swap(A, B);
+  return Var + "|" + A + "|" + B;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Batch detector: lockset transfer and join.
+//===--------------------------------------------------------------------===//
+
+TEST(Lockset, LockAddsUnlockRemoves) {
+  auto P = compileOk(R"(
+    lock_t l;
+    int shared;
+    void main(void) {
+      lock_t *p;
+      p = &l;
+      lock(p);
+      shared = 1;
+      unlock(p);
+      shared = 2;
+    }
+  )");
+  RaceDetector RD(*P);
+  RD.run();
+  ir::VarId L = P->findVariable("l");
+  const std::set<ir::VarId> &Inside = RD.locksHeldAt(nthWrite(*P, "shared", 0));
+  EXPECT_EQ(Inside, std::set<ir::VarId>{L});
+  EXPECT_TRUE(RD.locksHeldAt(nthWrite(*P, "shared", 1)).empty());
+  EXPECT_EQ(RD.unresolvedLockOps(), 0u);
+}
+
+TEST(Lockset, JoinIsIntersection) {
+  // Diamond: one arm locks, the other does not; the join must drop the
+  // lock (must-held = intersection over incoming paths).
+  auto P = compileOk(R"(
+    lock_t l;
+    int shared;
+    void main(void) {
+      lock_t *p;
+      p = &l;
+      if (nondet) {
+        lock(p);
+        shared = 1;
+      } else {
+        shared = 2;
+      }
+      shared = 3;
+    }
+  )");
+  RaceDetector RD(*P);
+  RD.run();
+  ir::VarId L = P->findVariable("l");
+  EXPECT_EQ(RD.locksHeldAt(nthWrite(*P, "shared", 0)),
+            std::set<ir::VarId>{L});
+  EXPECT_TRUE(RD.locksHeldAt(nthWrite(*P, "shared", 1)).empty());
+  EXPECT_TRUE(RD.locksHeldAt(nthWrite(*P, "shared", 2)).empty())
+      << "join kept a lock held on only one incoming path";
+}
+
+//===--------------------------------------------------------------------===//
+// Batch detector: verdicts (moved from test_workload.cpp).
+//===--------------------------------------------------------------------===//
+
+TEST(RaceDetect, ProtectedAccessIsNotARace) {
+  auto P = compileOk(R"(
+    lock_t l;
+    int shared;
+    void main(void) {
+      lock_t *p; lock_t *q;
+      p = &l;
+      q = p;
+      lock(p);
+      shared = 1;
+      unlock(p);
+      lock(q);
+      shared = 2;
+      unlock(q);
+    }
+  )");
+  RaceDetector RD(*P);
+  RD.run();
+  // p and q must-alias l: both critical sections hold the same lock.
+  EXPECT_TRUE(RD.races().empty())
+      << "false race between accesses under the same (aliased) lock";
+}
+
+TEST(RaceDetect, UnprotectedAccessRaces) {
+  auto P = compileOk(R"(
+    lock_t l;
+    int shared;
+    void main(void) {
+      lock_t *p;
+      p = &l;
+      lock(p);
+      shared = 1;
+      unlock(p);
+      shared = 2;
+    }
+  )");
+  RaceDetector RD(*P);
+  RD.run();
+  ASSERT_EQ(RD.races().size(), 1u);
+  EXPECT_EQ(P->var(RD.races()[0].SharedVar).Name, "shared");
+}
+
+TEST(RaceDetect, DifferentLocksRace) {
+  auto P = compileOk(R"(
+    lock_t l1; lock_t l2;
+    int shared;
+    void main(void) {
+      lock_t *p; lock_t *q;
+      p = &l1;
+      q = &l2;
+      lock(p);
+      shared = 1;
+      unlock(p);
+      lock(q);
+      shared = 2;
+      unlock(q);
+    }
+  )");
+  RaceDetector RD(*P);
+  RD.run();
+  EXPECT_EQ(RD.races().size(), 1u);
+}
+
+TEST(RaceDetect, AmbiguousLockGivesNoProtection) {
+  // q may point to l1 or l2: no must-alias, so the lockset stays empty
+  // and both accesses are reported (the sound direction for bug
+  // finding).
+  auto P = compileOk(R"(
+    lock_t l1; lock_t l2;
+    int shared;
+    void main(void) {
+      lock_t *q;
+      if (nondet) { q = &l1; } else { q = &l2; }
+      lock(q);
+      shared = 1;
+      unlock(q);
+      lock(q);
+      shared = 2;
+      unlock(q);
+    }
+  )");
+  RaceDetector RD(*P);
+  RD.run();
+  EXPECT_EQ(RD.races().size(), 1u);
+  EXPECT_EQ(RD.unresolvedLockOps(), 4u);
+}
+
+TEST(RaceDetect, LockClustersContainOnlyLockRelatedVars) {
+  // The paper's flexibility claim: lock clusters are comprised solely
+  // of lock pointers (and lock objects).
+  auto P = compileOk(R"(
+    lock_t l;
+    int shared;
+    void main(void) {
+      lock_t *p;
+      int a; int *x;
+      p = &l;
+      x = &a;
+      lock(p);
+      shared = 1;
+      unlock(p);
+    }
+  )");
+  RaceDetector RD(*P);
+  RD.run();
+  ASSERT_FALSE(RD.lockClusters().empty());
+  for (const core::Cluster &C : RD.lockClusters())
+    for (ir::VarId V : C.Members)
+      EXPECT_EQ(P->var(V).Base, ir::BaseType::Lock)
+          << P->var(V).Name << " in a lock cluster";
+}
+
+TEST(RaceDetect, GeneratedDriverWorkloadRuns) {
+  workload::GeneratorConfig C;
+  C.Seed = 21;
+  C.NumFunctions = 15;
+  C.Communities = 4;
+  C.LockPointers = 3;
+  C.SharedVariables = 3;
+  auto P = compileOk(workload::generateProgram(C));
+  RaceDetector RD(*P);
+  RD.run();
+  EXPECT_FALSE(RD.sharedVariables().empty());
+  EXPECT_FALSE(RD.lockClusters().empty());
+}
+
+//===--------------------------------------------------------------------===//
+// Satellite regression: the StepBudget / unresolved-site direction.
+//===--------------------------------------------------------------------===//
+
+TEST(RaceDetect, UnresolvedUnlockClearsLockset) {
+  // The unsound direction this pins: an unlock through an ambiguous
+  // pointer may release the lock we believe is held. Dropping the
+  // unresolved site (the old behavior) kept l1 in the lockset across
+  // unlock(q), claiming both writes are protected by l1 -- and hiding
+  // the race that exists when q == l1 at runtime. The unknown
+  // operation must clear the lockset instead.
+  auto P = compileOk(R"(
+    lock_t l1; lock_t l2;
+    int shared;
+    void main(void) {
+      lock_t *p; lock_t *q;
+      p = &l1;
+      if (nondet) { q = &l1; } else { q = &l2; }
+      lock(p);
+      shared = 1;
+      unlock(q);
+      shared = 2;
+      unlock(p);
+    }
+  )");
+  RaceDetector RD(*P);
+  RD.run();
+  EXPECT_EQ(RD.unresolvedLockOps(), 1u) << "only unlock(q) is ambiguous";
+  ASSERT_EQ(RD.races().size(), 1u)
+      << "unknown unlock must clear the lockset (report the race)";
+  EXPECT_EQ(P->var(RD.races()[0].SharedVar).Name, "shared");
+  EXPECT_TRUE(RD.locksHeldAt(nthWrite(*P, "shared", 1)).empty());
+}
+
+TEST(RaceDetect, BudgetHitReportsRacesNeverHidesThem) {
+  // With a starved step budget nothing must-resolves; every lockset
+  // degrades to empty and the (actually protected) pair is reported.
+  // Conservative over-reporting is the only acceptable budget
+  // degradation for a race finder.
+  const char *Src = R"(
+    lock_t l;
+    int shared;
+    void main(void) {
+      lock_t *p; lock_t *q;
+      p = &l;
+      q = p;
+      lock(p);
+      shared = 1;
+      unlock(p);
+      lock(q);
+      shared = 2;
+      unlock(q);
+    }
+  )";
+  auto P = compileOk(Src);
+  RaceDetector::Options Starved;
+  Starved.StepBudget = 1;
+  RaceDetector RD(*P, Starved);
+  RD.run();
+  EXPECT_GT(RD.unresolvedLockOps(), 0u);
+  EXPECT_EQ(RD.races().size(), 1u)
+      << "budget starvation must over-report, not hide";
+}
+
+TEST(RaceDetect, BudgetedRacesAreASupersetOfUnbudgeted) {
+  auto P = compileOk(workload::generateProgram(raceConfig(8, 21)));
+  RaceDetector Full(*P);
+  Full.run();
+  RaceDetector::Options Starved;
+  Starved.StepBudget = 1;
+  RaceDetector Budgeted(*P, Starved);
+  Budgeted.run();
+
+  auto Keys = [&](const RaceDetector &RD) {
+    std::set<std::string> S;
+    for (const Race &R : RD.races())
+      S.insert(raceKey(P->var(R.SharedVar).Name, siteKey(*P, R.First),
+                       siteKey(*P, R.Second)));
+    return S;
+  };
+  std::set<std::string> FullKeys = Keys(Full), BudgetKeys = Keys(Budgeted);
+  for (const std::string &K : FullKeys)
+    EXPECT_TRUE(BudgetKeys.count(K))
+        << "budget starvation hid race " << K << " (unsound direction)";
+}
+
+//===--------------------------------------------------------------------===//
+// Engine: cross-check against the batch detector.
+//===--------------------------------------------------------------------===//
+
+TEST(RaceCheck, EngineMatchesBatchDetector) {
+  for (uint64_t Seed : {11u, 21u, 33u}) {
+    workload::GeneratorConfig Cfg = raceConfig(10, Seed);
+    std::string Src = workload::generateProgram(Cfg);
+
+    auto PBatch = compileOk(Src);
+    RaceDetector::Options DOpts;
+    DOpts.StepBudget = 50000;
+    RaceDetector RD(*PBatch, DOpts);
+    RD.run();
+    std::set<std::string> BatchKeys;
+    for (const Race &R : RD.races())
+      BatchKeys.insert(raceKey(PBatch->var(R.SharedVar).Name,
+                               siteKey(*PBatch, R.First),
+                               siteKey(*PBatch, R.Second)));
+
+    RaceCheckService Svc(baseOptions());
+    Svc.update(compileOk(Src));
+    std::set<std::string> EngineKeys;
+    for (const RaceWarning &W : Svc.report()->Warnings)
+      EngineKeys.insert(raceKey(
+          W.Var, W.A.Func + ":" + std::to_string(W.A.LocalIdx),
+          W.B.Func + ":" + std::to_string(W.B.LocalIdx)));
+
+    EXPECT_EQ(EngineKeys, BatchKeys) << "seed " << Seed;
+    EXPECT_FALSE(EngineKeys.empty())
+        << "seed " << Seed << ": workload carries no races at all";
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Engine: the 50-edit differential oracle.
+//===--------------------------------------------------------------------===//
+
+TEST(RaceCheck, FiftyEditOracleMatchesColdBatch) {
+  workload::GeneratorConfig Cfg = raceConfig(8, 42);
+  Cfg.StmtsPerFunction = 8; // Keep 2x51 cold re-runs affordable.
+  core::BootstrapOptions Opts = baseOptions();
+
+  for (uint64_t StreamSeed : {7u, 11u}) {
+    std::vector<workload::ProgramEdit> Edits =
+        workload::generateEditStream(Cfg, /*NumEdits=*/50, StreamSeed);
+    ASSERT_EQ(Edits.size(), 50u);
+    workload::EditState St = workload::initialEditState(Cfg);
+
+    RaceCheckService Incr(Opts);
+    uint64_t TotalWarnings = 0;
+    for (uint32_t I = 0; I <= Edits.size(); ++I) {
+      if (I > 0)
+        workload::applyEdit(St, Edits[I - 1]);
+      CheckReport CR =
+          Incr.update(compileOk(workload::generateProgram(Cfg, St)));
+      std::string IncrJson = toReportJson(*Incr.report());
+      ASSERT_EQ(IncrJson, coldReportJson(Cfg, St, Opts))
+          << "stream " << StreamSeed << ": divergence at edit " << I
+          << " (kind " << (I == 0 ? -1 : int(Edits[I - 1].Kind)) << ")";
+      EXPECT_EQ(CR.FunctionsChecked + CR.FunctionsFromCache, CR.Functions)
+          << "stream " << StreamSeed << " edit " << I;
+      TotalWarnings += CR.Warnings;
+    }
+    EXPECT_GT(TotalWarnings, 0u)
+        << "stream " << StreamSeed << " never produced a verdict";
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Engine: incremental behavior.
+//===--------------------------------------------------------------------===//
+
+TEST(RaceCheck, TouchUpdateReplaysEveryFunction) {
+  workload::GeneratorConfig Cfg = raceConfig(10, 21);
+  std::string Src = workload::generateProgram(Cfg);
+  RaceCheckService Svc(baseOptions());
+  CheckReport First = Svc.update(compileOk(Src));
+  EXPECT_EQ(First.FunctionsChecked, First.Functions);
+  std::string FirstJson = toReportJson(*Svc.report());
+
+  CheckReport Touch = Svc.update(compileOk(Src));
+  EXPECT_EQ(Touch.FunctionsChecked, 0u)
+      << "identical version recomputed lockset facts";
+  EXPECT_EQ(Touch.FunctionsFromCache, Touch.Functions);
+  EXPECT_TRUE(Touch.Delta.Added.empty());
+  EXPECT_TRUE(Touch.Delta.Retracted.empty());
+  EXPECT_EQ(toReportJson(*Svc.report()), FirstJson);
+}
+
+TEST(RaceCheck, StableWarningIdsSurviveUnrelatedEdits) {
+  // f0 writes `shared` unprotected; main writes it under l. That pair
+  // is the only warning. Editing f1 (shape-identical operand swap, so
+  // no id in the program moves) must neither change the warning's ID
+  // nor recompute any other function's facts.
+  const char *V0 = R"(
+    lock_t l;
+    int shared; int other;
+    void f0(void) {
+      shared = 1;
+    }
+    void f1(void) {
+      int *x; int *y; int a;
+      x = &a;
+      y = x;
+      other = 2;
+    }
+    void main(void) {
+      lock_t *p;
+      p = &l;
+      lock(p);
+      shared = 3;
+      unlock(p);
+      f0();
+      f1();
+    }
+  )";
+  const char *V1 = R"(
+    lock_t l;
+    int shared; int other;
+    void f0(void) {
+      shared = 1;
+    }
+    void f1(void) {
+      int *x; int *y; int a;
+      y = &a;
+      x = y;
+      other = 2;
+    }
+    void main(void) {
+      lock_t *p;
+      p = &l;
+      lock(p);
+      shared = 3;
+      unlock(p);
+      f0();
+      f1();
+    }
+  )";
+  // V2: f0 no longer touches `shared` -- the warning must retract.
+  const char *V2 = R"(
+    lock_t l;
+    int shared; int other;
+    void f0(void) {
+      other = 1;
+    }
+    void f1(void) {
+      int *x; int *y; int a;
+      y = &a;
+      x = y;
+      other = 2;
+    }
+    void main(void) {
+      lock_t *p;
+      p = &l;
+      lock(p);
+      shared = 3;
+      unlock(p);
+      f0();
+      f1();
+    }
+  )";
+
+  RaceCheckService Svc(baseOptions());
+  CheckReport R0 = Svc.update(compileOk(V0));
+  ASSERT_EQ(Svc.report()->Warnings.size(), 1u);
+  RaceWarning W0 = Svc.report()->Warnings[0];
+  EXPECT_EQ(W0.Var, "shared");
+  EXPECT_EQ(W0.Id.size(), 16u);
+  EXPECT_EQ(R0.WarningsAdded, 1u);
+
+  CheckReport R1 = Svc.update(compileOk(V1));
+  ASSERT_EQ(Svc.report()->Warnings.size(), 1u);
+  EXPECT_EQ(Svc.report()->Warnings[0].Id, W0.Id)
+      << "warning ID changed across an unrelated edit";
+  EXPECT_TRUE(R1.Delta.Added.empty());
+  EXPECT_TRUE(R1.Delta.Retracted.empty());
+  EXPECT_EQ(R1.FunctionsChecked, 1u) << "only f1 was edited";
+  EXPECT_EQ(R1.FunctionsFromCache, R1.Functions - 1);
+
+  // V2 retracts the `shared` warning (f0 no longer touches it) and in
+  // the same batch creates a fresh unprotected write pair on `other`
+  // (f0 and f1 both write it now) -- one retraction, one addition.
+  CheckReport R2 = Svc.update(compileOk(V2));
+  ASSERT_EQ(Svc.report()->Warnings.size(), 1u);
+  EXPECT_EQ(Svc.report()->Warnings[0].Var, "other");
+  ASSERT_EQ(R2.Delta.Retracted.size(), 1u);
+  EXPECT_EQ(R2.Delta.Retracted[0].Id, W0.Id);
+  ASSERT_EQ(R2.Delta.Added.size(), 1u);
+  EXPECT_EQ(R2.Delta.Added[0].Var, "other");
+  EXPECT_EQ(Svc.report()->findById(W0.Id), nullptr);
+  EXPECT_EQ(Svc.report()->findById(R2.Delta.Added[0].Id),
+            &Svc.report()->Warnings[0]);
+}
+
+TEST(RaceCheck, BudgetFallbackDegradesConservatively) {
+  // A starved cascade flags the lock cluster; the snapshot serves it
+  // through the fallback chain, so every resolution is incomplete and
+  // the engine degrades to empty locksets: the protected pair is
+  // reported, marked degraded, with non-FSCS provenance.
+  const char *Src = R"(
+    lock_t l;
+    int shared;
+    void main(void) {
+      lock_t *p; lock_t *q;
+      p = &l;
+      q = p;
+      lock(p);
+      shared = 1;
+      unlock(p);
+      lock(q);
+      shared = 2;
+      unlock(q);
+    }
+  )";
+  core::BootstrapOptions Opts = baseOptions();
+  Opts.EngineOpts.StepBudget = 1;
+  RaceCheckService Svc(Opts);
+  CheckReport CR = Svc.update(compileOk(Src));
+  EXPECT_GT(CR.UnresolvedLockSites, 0u);
+  ASSERT_EQ(Svc.report()->Warnings.size(), 1u)
+      << "budget fallback must over-report, not hide";
+  const RaceWarning &W = Svc.report()->Warnings[0];
+  EXPECT_TRUE(W.A.Degraded);
+  EXPECT_TRUE(W.B.Degraded);
+  EXPECT_TRUE(W.A.Lockset.empty());
+  EXPECT_NE(W.Source, query::AnswerSource::Fscs);
+  EXPECT_GE(Svc.report()->DegradedFunctions, 1u);
+}
+
+TEST(RaceCheck, ReportIsDeterministic) {
+  workload::GeneratorConfig Cfg = raceConfig(10, 33);
+  std::string Src = workload::generateProgram(Cfg);
+  RaceCheckService A(baseOptions()), B(baseOptions());
+  A.update(compileOk(Src));
+  B.update(compileOk(Src));
+  std::string JA = toReportJson(*A.report());
+  EXPECT_EQ(JA, toReportJson(*B.report()));
+  EXPECT_FALSE(A.report()->Warnings.empty());
+  // Ranked: severity descending, ID ascending within ties.
+  const std::vector<RaceWarning> &Ws = A.report()->Warnings;
+  for (size_t I = 1; I < Ws.size(); ++I) {
+    EXPECT_GE(Ws[I - 1].Severity, Ws[I].Severity);
+    if (Ws[I - 1].Severity == Ws[I].Severity) {
+      EXPECT_LT(Ws[I - 1].Id, Ws[I].Id);
+    }
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// RaceReport primitives.
+//===--------------------------------------------------------------------===//
+
+TEST(RaceReport, WarningIdIsOrientationFree) {
+  std::string AB = warningId("shared", "f0", 3, true, "f1", 7, false);
+  std::string BA = warningId("shared", "f1", 7, false, "f0", 3, true);
+  EXPECT_EQ(AB, BA);
+  EXPECT_EQ(AB.size(), 16u);
+  // And sensitive to every coordinate.
+  EXPECT_NE(AB, warningId("shared", "f0", 4, true, "f1", 7, false));
+  EXPECT_NE(AB, warningId("other", "f0", 3, true, "f1", 7, false));
+  EXPECT_NE(AB, warningId("shared", "f0", 3, false, "f1", 7, true));
+}
+
+TEST(RaceReport, DiffByWarningId) {
+  auto Mk = [](const std::string &Id) {
+    RaceWarning W;
+    W.Id = Id;
+    return W;
+  };
+  RaceReport Old, New;
+  Old.Warnings = {Mk("a"), Mk("b"), Mk("c")};
+  New.Warnings = {Mk("b"), Mk("d")};
+  ReportDelta D = diffReports(Old, New);
+  ASSERT_EQ(D.Added.size(), 1u);
+  EXPECT_EQ(D.Added[0].Id, "d");
+  ASSERT_EQ(D.Retracted.size(), 2u);
+  EXPECT_EQ(D.Retracted[0].Id, "a");
+  EXPECT_EQ(D.Retracted[1].Id, "c");
+}
+
+TEST(RaceReport, JsonEscapesStrings) {
+  RaceReport R;
+  RaceWarning W;
+  W.Id = "0123456789abcdef";
+  W.Var = "a\"b\\c";
+  W.A.Func = "f0";
+  W.A.Stmt = "x\t=\ny";
+  R.Warnings.push_back(W);
+  std::string J = toReportJson(R);
+  EXPECT_NE(J.find("a\\\"b\\\\c"), std::string::npos);
+  EXPECT_NE(J.find("x\\t=\\ny"), std::string::npos);
+  EXPECT_EQ(J.find('\n'), std::string::npos) << "report JSON is one line";
+}

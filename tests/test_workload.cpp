@@ -1,10 +1,9 @@
-//===- tests/test_workload.cpp - Generator + suite + racedetect tests -----===//
+//===- tests/test_workload.cpp - Generator + edit-stream + suite tests ----===//
 
 #include "analysis/Steensgaard.h"
 #include "core/BootstrapDriver.h"
 #include "frontend/Diagnostics.h"
 #include "frontend/Lower.h"
-#include "racedetect/RaceDetect.h"
 #include "support/ContentHash.h"
 #include "workload/BenchmarkSuite.h"
 #include "workload/ProgramGenerator.h"
@@ -282,131 +281,78 @@ TEST(Suite, EntryLookup) {
   EXPECT_EQ(E.PaperPointers, 3258u);
 }
 
+
 //===--------------------------------------------------------------------===//
-// Race detection (the motivating application)
+// LockDensity (race-checking workloads)
 //===--------------------------------------------------------------------===//
 
-TEST(RaceDetect, ProtectedAccessIsNotARace) {
-  auto P = compileOk(R"(
-    lock_t l;
-    int shared;
-    void main(void) {
-      lock_t *p; lock_t *q;
-      p = &l;
-      q = p;
-      lock(p);
-      shared = 1;
-      unlock(p);
-      lock(q);
-      shared = 2;
-      unlock(q);
-    }
-  )");
-  racedetect::RaceDetector RD(*P);
-  RD.run();
-  // p and q must-alias l: both critical sections hold the same lock.
-  EXPECT_TRUE(RD.races().empty())
-      << "false race between accesses under the same (aliased) lock";
-}
-
-TEST(RaceDetect, UnprotectedAccessRaces) {
-  auto P = compileOk(R"(
-    lock_t l;
-    int shared;
-    void main(void) {
-      lock_t *p;
-      p = &l;
-      lock(p);
-      shared = 1;
-      unlock(p);
-      shared = 2;
-    }
-  )");
-  racedetect::RaceDetector RD(*P);
-  RD.run();
-  ASSERT_EQ(RD.races().size(), 1u);
-  EXPECT_EQ(P->var(RD.races()[0].SharedVar).Name, "shared");
-}
-
-TEST(RaceDetect, DifferentLocksRace) {
-  auto P = compileOk(R"(
-    lock_t l1; lock_t l2;
-    int shared;
-    void main(void) {
-      lock_t *p; lock_t *q;
-      p = &l1;
-      q = &l2;
-      lock(p);
-      shared = 1;
-      unlock(p);
-      lock(q);
-      shared = 2;
-      unlock(q);
-    }
-  )");
-  racedetect::RaceDetector RD(*P);
-  RD.run();
-  EXPECT_EQ(RD.races().size(), 1u);
-}
-
-TEST(RaceDetect, AmbiguousLockGivesNoProtection) {
-  // q may point to l1 or l2: no must-alias, so the lockset stays empty
-  // and both accesses are reported (the sound direction for bug
-  // finding).
-  auto P = compileOk(R"(
-    lock_t l1; lock_t l2;
-    int shared;
-    void main(void) {
-      lock_t *q;
-      if (nondet) { q = &l1; } else { q = &l2; }
-      lock(q);
-      shared = 1;
-      unlock(q);
-      lock(q);
-      shared = 2;
-      unlock(q);
-    }
-  )");
-  racedetect::RaceDetector RD(*P);
-  RD.run();
-  EXPECT_EQ(RD.races().size(), 1u);
-}
-
-TEST(RaceDetect, LockClustersContainOnlyLockRelatedVars) {
-  // The paper's flexibility claim: lock clusters are comprised solely
-  // of lock pointers (and lock objects).
-  auto P = compileOk(R"(
-    lock_t l;
-    int shared;
-    void main(void) {
-      lock_t *p;
-      int a; int *x;
-      p = &l;
-      x = &a;
-      lock(p);
-      shared = 1;
-      unlock(p);
-    }
-  )");
-  racedetect::RaceDetector RD(*P);
-  RD.run();
-  ASSERT_FALSE(RD.lockClusters().empty());
-  for (const core::Cluster &C : RD.lockClusters())
-    for (ir::VarId V : C.Members)
-      EXPECT_EQ(P->var(V).Base, ir::BaseType::Lock)
-          << P->var(V).Name << " in a lock cluster";
-}
-
-TEST(RaceDetect, GeneratedDriverWorkloadRuns) {
+TEST(Generator, LockDensityEmitsCriticalSections) {
   GeneratorConfig C;
   C.Seed = 21;
-  C.NumFunctions = 15;
-  C.Communities = 4;
+  C.NumFunctions = 8;
   C.LockPointers = 3;
   C.SharedVariables = 3;
-  auto P = compileOk(generateProgram(C));
-  racedetect::RaceDetector RD(*P);
-  RD.run();
-  EXPECT_FALSE(RD.sharedVariables().empty());
-  EXPECT_FALSE(RD.lockClusters().empty());
+
+  // LockDensity = 0 keeps the legacy emission: one lock()/unlock()
+  // triple in main and every 4th function.
+  std::string Legacy = generateProgram(C);
+  C.LockDensity = 2;
+  std::string Dense = generateProgram(C);
+  auto CountLocks = [](const std::string &S) {
+    size_t N = 0;
+    for (size_t P = S.find("lock("); P != std::string::npos;
+         P = S.find("lock(", P + 1))
+      ++N;
+    return N;
+  };
+  EXPECT_GT(CountLocks(Dense), CountLocks(Legacy));
+  auto P = compileOk(Dense);
+  uint32_t LockOps = 0;
+  for (ir::LocId L = 0; L < P->numLocs(); ++L)
+    if (P->loc(L).Kind == ir::StmtKind::Lock ||
+        P->loc(L).Kind == ir::StmtKind::Unlock)
+      ++LockOps;
+  // Every non-stubbed function plus main carries at least one section.
+  EXPECT_GE(LockOps, 2u * (C.NumFunctions + 1));
+}
+
+TEST(Generator, LockDensityMutateKeepsShapeAndEveryId) {
+  // The Mutate shape-stability guarantee must survive the critical
+  // sections: their structural choices ride the structure stream, so a
+  // version bump re-draws only which lock guards which variable.
+  GeneratorConfig C;
+  C.Seed = 42;
+  C.NumFunctions = 10;
+  C.StmtsPerFunction = 14;
+  C.Communities = 4;
+  C.PointerFunctionPercent = 60;
+  C.WeightNoise = 20;
+  C.WeightCall = 4;
+  C.RecursionPercent = 0;
+  C.CrossCommunityBasisPoints = 0;
+  C.LockPointers = 3;
+  C.SharedVariables = 3;
+  C.LockDensity = 2;
+
+  EditState St = initialEditState(C);
+  std::string Src0 = generateProgram(C, St);
+  for (uint32_t F = 0; F < C.NumFunctions; ++F)
+    applyEdit(St, {EditKind::Mutate, F});
+  std::string Src1 = generateProgram(C, St);
+  EXPECT_NE(Src0, Src1) << "the mutate edits were a no-op";
+
+  auto P0 = compileOk(Src0);
+  auto P1 = compileOk(Src1);
+  ASSERT_EQ(P0->numFuncs(), P1->numFuncs());
+  ASSERT_EQ(P0->numVars(), P1->numVars());
+  ASSERT_EQ(P0->numLocs(), P1->numLocs());
+  for (ir::VarId V = 0; V < P0->numVars(); ++V) {
+    EXPECT_EQ(P0->var(V).Name, P1->var(V).Name) << "var " << V;
+    EXPECT_EQ(P0->var(V).Owner, P1->var(V).Owner) << "var " << V;
+  }
+  for (ir::LocId L = 0; L < P0->numLocs(); ++L) {
+    EXPECT_EQ(P0->loc(L).Kind, P1->loc(L).Kind) << "loc " << L;
+    EXPECT_EQ(P0->loc(L).Owner, P1->loc(L).Owner) << "loc " << L;
+    EXPECT_EQ(P0->loc(L).Succs, P1->loc(L).Succs) << "loc " << L;
+  }
 }
