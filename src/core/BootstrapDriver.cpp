@@ -304,9 +304,8 @@ ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
       // statistics contributions, no SummaryEngine re-execution.
       fillClusterMetrics(R, Hit->Stats, Hit->Dove);
       R.FromCache = true;
-      fscs::SummaryEngine::accumulateGlobalStats(Hit->Stats,
-                                                 Statistics::global());
-      fscs::accumulateDovetailStats(Hit->Dove, Statistics::global());
+      fscs::SummaryEngine::accumulateGlobalStats(Hit->Stats, stats());
+      fscs::accumulateDovetailStats(Hit->Dove, stats());
       R.Seconds = T.seconds();
       return R;
     }
@@ -332,10 +331,10 @@ ClusterRunResult BootstrapDriver::analyzeCluster(const Cluster &C) const {
   fscs::SummaryEngine::EngineStats ES = AA.engine().stats();
   fillClusterMetrics(R, ES, AA.dovetailStats());
   // Per-thread shards make this contention-free from worker threads.
-  AA.engine().accumulateGlobalStats(Statistics::global());
+  AA.engine().accumulateGlobalStats(stats());
   // Mirrored on the cache-hit path above so dovetail accounting in the
-  // global registry is invariant under cache replay.
-  fscs::accumulateDovetailStats(AA.dovetailStats(), Statistics::global());
+  // effective registry is invariant under cache replay.
+  fscs::accumulateDovetailStats(AA.dovetailStats(), stats());
 
   if (Opts.SummaryCache) {
     // Publish the complete memoized product so a future hit replays
@@ -459,6 +458,10 @@ BootstrapDriver::simulateParallel(const std::vector<ClusterRunResult> &Rs,
   return *std::max_element(PartSeconds.begin(), PartSeconds.end());
 }
 
+Statistics &BootstrapDriver::stats() const {
+  return Opts.StatsRegistry ? *Opts.StatsRegistry : Statistics::global();
+}
+
 std::string core::toStatsJson(const BootstrapResult &R) {
   return toStatsJson(R, StatsJsonOptions());
 }
@@ -480,6 +483,12 @@ void emitCacheReport(std::ostringstream &OS, const char *Name,
 
 std::string core::toStatsJson(const BootstrapResult &R,
                               const StatsJsonOptions &O) {
+  return toStatsJson(R, O, Statistics::global());
+}
+
+std::string core::toStatsJson(const BootstrapResult &R,
+                              const StatsJsonOptions &O,
+                              const Statistics &Stats) {
   std::ostringstream OS;
   OS << "{\n";
   if (O.IncludeTimings) {
@@ -522,7 +531,7 @@ std::string core::toStatsJson(const BootstrapResult &R,
     OS << "}" << (I + 1 < R.Clusters.size() ? "," : "") << "\n";
   }
   OS << "  ],\n";
-  OS << "  \"statistics\": " << Statistics::global().toJson() << "\n";
+  OS << "  \"statistics\": " << Stats.toJson() << "\n";
   OS << "}\n";
   return OS.str();
 }

@@ -42,6 +42,7 @@
 namespace bsaa {
 
 class ThreadPool;
+class Statistics;
 
 namespace core {
 
@@ -135,6 +136,15 @@ struct BootstrapOptions {
   /// pointee must outlive this driver's steensgaard() call. Null =
   /// solve normally.
   const analysis::SteensgaardAnalysis *AdoptSteensgaard = nullptr;
+
+  /// Statistics registry this pipeline accumulates into (null = the
+  /// process-wide Statistics::global()). Multi-tenant serving gives
+  /// every tenant its own registry so concurrent re-analyses never
+  /// stomp each other's statistics epoch -- the IncrementalDriver
+  /// clears the *effective* registry at the start of every update,
+  /// which with the global registry is only re-entrant for one driver
+  /// per process.
+  std::shared_ptr<Statistics> StatsRegistry;
 };
 
 /// Per-cluster FSCS outcome.
@@ -237,6 +247,10 @@ private:
   /// Opts.AndersenRefinementCache when attached.
   std::vector<Cluster> refineByAndersen(const Cluster &Part);
 
+  /// The effective statistics registry (Opts.StatsRegistry or the
+  /// process-wide one).
+  Statistics &stats() const;
+
   const ir::Program &Prog;
   BootstrapOptions Opts;
   ir::CallGraph CG;
@@ -268,6 +282,13 @@ std::string toStatsJson(const BootstrapResult &R);
 /// Section-selective overload (see StatsJsonOptions).
 std::string toStatsJson(const BootstrapResult &R,
                         const StatsJsonOptions &O);
+
+/// Registry-explicit overload: renders the statistics section from
+/// \p Stats instead of Statistics::global(). Pipelines run with
+/// BootstrapOptions::StatsRegistry must pass the same registry here for
+/// the statistics section to describe that run.
+std::string toStatsJson(const BootstrapResult &R, const StatsJsonOptions &O,
+                        const Statistics &Stats);
 
 } // namespace core
 } // namespace bsaa

@@ -22,6 +22,11 @@ IncrementalDriver::IncrementalDriver(BootstrapOptions Opts)
   BaseOpts.ScopedSummaryKeys = true;
 }
 
+Statistics &IncrementalDriver::statsRegistry() const {
+  return BaseOpts.StatsRegistry ? *BaseOpts.StatsRegistry
+                                : Statistics::global();
+}
+
 const BootstrapResult &
 IncrementalDriver::update(std::unique_ptr<ir::Program> NewProg,
                           UpdateReport *Report) {
@@ -39,8 +44,12 @@ IncrementalDriver::update(std::unique_ptr<ir::Program> NewProg,
     Opts.AdoptSteensgaard = &Driver->steensgaard();
 
   // Each update's statistics describe exactly that version (and match
-  // a cold run that clears the registry the same way).
-  Statistics::global().clear();
+  // a cold run that clears the registry the same way). With a
+  // per-driver StatsRegistry this is re-entrant across drivers --
+  // concurrent tenants each clear only their own epoch; on the shared
+  // global registry it is only safe for one updating driver per
+  // process.
+  statsRegistry().clear();
 
   // The previous driver (and the Steensgaard instance being adopted
   // from) must stay alive until the new pipeline has run.

@@ -112,6 +112,12 @@ public:
     return FuncFPs;
   }
 
+  /// The statistics registry this driver's updates accumulate into and
+  /// clear (BootstrapOptions::StatsRegistry, or Statistics::global()
+  /// when none was configured). Pass it to the registry-explicit
+  /// toStatsJson overload to render this driver's statistics section.
+  Statistics &statsRegistry() const;
+
 private:
   BootstrapOptions BaseOpts;
   std::shared_ptr<ir::Program> Prog;

@@ -173,6 +173,20 @@ QuerySnapshot::materialize(uint32_t ClusterIdx) const {
   return E;
 }
 
+size_t QuerySnapshot::trimResident(size_t MaxResident) const {
+  std::lock_guard<std::mutex> Lock(LruMutex);
+  size_t Evicted = 0;
+  while (Resident.size() > MaxResident && !LruOrder.empty()) {
+    uint32_t Victim = LruOrder.back();
+    LruOrder.pop_back();
+    LruPos.erase(Victim);
+    Resident.erase(Victim);
+    NumEvictions.fetch_add(1, std::memory_order_relaxed);
+    ++Evicted;
+  }
+  return Evicted;
+}
+
 const analysis::AndersenAnalysis &QuerySnapshot::andersen() const {
   std::call_once(AndersenOnce, [this] {
     auto A = std::make_unique<analysis::AndersenAnalysis>(*Prog,

@@ -177,6 +177,17 @@ public:
   const analysis::SteensgaardAnalysis &steensgaard() const { return Steens; }
   SnapshotStats stats() const;
 
+  /// Evicts least-recently-used materialized cluster analyses until at
+  /// most \p MaxResident remain; returns how many were evicted. The
+  /// cross-tenant memory accountant (serving/TenantRegistry.h) calls
+  /// this on over-budget tenants. Sound by construction: eviction only
+  /// discards *materialized state* -- the next query re-materializes
+  /// the cluster from the same content-addressed inputs (summary-cache
+  /// replay or recomputation), so no answer ever changes. Readers
+  /// holding an evicted entry's shared_ptr finish against it
+  /// unperturbed.
+  size_t trimResident(size_t MaxResident) const;
+
 private:
   QuerySnapshot(std::shared_ptr<const ir::Program> P,
                 std::vector<core::Cluster> CoverIn,

@@ -1,0 +1,111 @@
+//===- support/LatencyHistogram.h - Sharded latency quantiles ---*- C++ -*-===//
+//
+// Part of the bsaa project (Kahlon, PLDI 2008 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A log-linear latency histogram built for serving hot paths: record()
+/// is one relaxed fetch_add into the calling thread's private shard of
+/// atomic bucket counters -- no lock, no contention with other
+/// recorders -- and quantile extraction merges the shards on demand.
+///
+/// Buckets are HdrHistogram-style log-linear over nanoseconds: each
+/// power-of-two octave is subdivided into SubBuckets linear slots, so
+/// relative resolution is bounded by 1/SubBuckets (~6%) across the
+/// whole range instead of the 2x a pure power-of-two scheme gives.
+/// Quantiles report a bucket's *upper* bound, so p99 never understates
+/// the latency an SLO gate is checking.
+///
+/// Shards follow the support/Statistics.h ownership pattern: a thread's
+/// shard is created on its first record() and owned by the histogram,
+/// so counts from exited threads survive; the thread-local cache is
+/// keyed by a never-reused instance id, so a stale cache entry for a
+/// destroyed histogram can never resolve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BSAA_SUPPORT_LATENCYHISTOGRAM_H
+#define BSAA_SUPPORT_LATENCYHISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace bsaa {
+namespace support {
+
+/// Thread-sharded log-linear histogram of nanosecond durations.
+class LatencyHistogram {
+public:
+  /// Linear slots per power-of-two octave. 16 bounds the relative
+  /// quantile error at 1/16 = 6.25%.
+  static constexpr uint32_t SubBuckets = 16;
+  /// Octaves 0..63 cover the whole uint64 nanosecond range.
+  static constexpr uint32_t Octaves = 64;
+  static constexpr uint32_t NumBuckets = Octaves * SubBuckets;
+
+  LatencyHistogram();
+  ~LatencyHistogram();
+
+  LatencyHistogram(const LatencyHistogram &) = delete;
+  LatencyHistogram &operator=(const LatencyHistogram &) = delete;
+
+  /// Records one duration. Wait-free against other recorders: a single
+  /// relaxed fetch_add in the calling thread's own shard (shard
+  /// creation on a thread's first record takes the registry mutex
+  /// once).
+  void record(uint64_t Nanos);
+
+  /// Bucket index for \p Nanos -- exposed for the boundary unit tests.
+  static uint32_t bucketIndex(uint64_t Nanos);
+
+  /// Inclusive upper bound of bucket \p Index (the value quantiles
+  /// report).
+  static uint64_t bucketUpperBound(uint32_t Index);
+
+  /// One merged, immutable view of the counts: take it once, read many
+  /// quantiles consistently (concurrent record()s keep landing in the
+  /// shards and show up in the next snapshot).
+  struct Snapshot {
+    std::array<uint64_t, NumBuckets> Counts{};
+    uint64_t Total = 0;
+
+    /// Smallest recorded upper bound B such that at least
+    /// ceil(q * Total) samples are <= B. Returns 0 on an empty
+    /// snapshot. \p Q is clamped to [0, 1].
+    uint64_t quantileNanos(double Q) const;
+
+    double quantileSeconds(double Q) const {
+      return static_cast<double>(quantileNanos(Q)) * 1e-9;
+    }
+
+    /// Adds \p Other's counts into this snapshot (cross-histogram
+    /// aggregation, e.g. all tenants combined).
+    void merge(const Snapshot &Other);
+  };
+
+  Snapshot snapshot() const;
+
+  /// Total samples recorded (merged across shards).
+  uint64_t count() const { return snapshot().Total; }
+
+private:
+  struct Shard {
+    std::array<std::atomic<uint64_t>, NumBuckets> Counts{};
+  };
+
+  Shard &myShard();
+
+  const uint64_t InstanceId;
+  mutable std::mutex RegistryMutex; ///< Guards Shards (growth only).
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace support
+} // namespace bsaa
+
+#endif // BSAA_SUPPORT_LATENCYHISTOGRAM_H

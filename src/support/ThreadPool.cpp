@@ -3,6 +3,7 @@
 #include "support/ThreadPool.h"
 
 #include <cassert>
+#include <stdexcept>
 
 using namespace bsaa;
 
@@ -62,7 +63,21 @@ bool ThreadPool::submit(std::function<void()> Job) {
   return true;
 }
 
+bool ThreadPool::onWorkerThread() const {
+  // Workers never changes after construction, so this is safe lock-free.
+  std::thread::id Self = std::this_thread::get_id();
+  for (const std::thread &W : Workers)
+    if (W.get_id() == Self)
+      return true;
+  return false;
+}
+
 void ThreadPool::waitAll() {
+  if (onWorkerThread())
+    throw std::logic_error(
+        "ThreadPool::waitAll() called from one of the pool's own worker "
+        "threads; the calling job counts in Pending, so the wait would "
+        "deadlock");
   std::unique_lock<std::mutex> Lock(Mutex);
   AllDone.wait(Lock, [this] { return Pending == 0; });
   if (FirstError) {

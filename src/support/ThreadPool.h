@@ -54,6 +54,19 @@ public:
   /// Blocks until every submitted job has finished. If any job of the
   /// batch threw, rethrows the first captured exception (clearing it, so
   /// the pool stays usable for the next batch).
+  ///
+  /// waitAll() waits for *global* quiescence, not a per-caller batch:
+  /// with several producers submitting concurrently (e.g. two tenants'
+  /// drain paths sharing one pool), every waiter waits for all of them,
+  /// and a captured error is delivered to whichever waiter rethrows
+  /// first. Callers that need per-batch waiting or per-batch errors
+  /// must track their own completion (the serving registry does --
+  /// see serving/TenantRegistry.cpp) instead of calling waitAll().
+  ///
+  /// Calling waitAll() from one of this pool's own worker threads would
+  /// deadlock -- the calling job itself counts in Pending, so the wait
+  /// can never be satisfied. That call is detected and throws
+  /// std::logic_error instead of hanging.
   void waitAll();
 
   /// Drains the queue, joins all workers, and rejects any further
@@ -77,6 +90,9 @@ public:
 
 private:
   void workerLoop();
+
+  /// True when the calling thread is one of this pool's workers.
+  bool onWorkerThread() const;
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Jobs;

@@ -377,6 +377,17 @@ void workload::applyEdit(EditState &St, const ProgramEdit &E) {
   }
 }
 
+std::string workload::editedFunctionName(const ProgramEdit &E) {
+  switch (E.Kind) {
+  case EditKind::Mutate:
+  case EditKind::Stub:
+    return "f" + std::to_string(E.Function);
+  case EditKind::Append:
+    return "x" + std::to_string(E.Function);
+  }
+  return "";
+}
+
 std::vector<ProgramEdit>
 workload::generateEditStream(const GeneratorConfig &Cfg, uint32_t NumEdits,
                              uint64_t StreamSeed) {

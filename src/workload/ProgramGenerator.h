@@ -165,6 +165,13 @@ EditState initialEditState(const GeneratorConfig &Config);
 /// Applies one edit to \p State.
 void applyEdit(EditState &State, const ProgramEdit &Edit);
 
+/// Name of the function \p Edit touches in generated source ("f4" for
+/// Mutate/Stub of function 4, "x2" for the third Append). Serving
+/// clients tag edit-queue submissions with this so the ingestion queue
+/// can coalesce consecutive touches of the same function
+/// (serving/TenantRegistry.h).
+std::string editedFunctionName(const ProgramEdit &Edit);
+
 /// Deterministic stream of \p NumEdits edits (roughly 70% mutate, 15%
 /// stub, 15% append; mutate never targets a stubbed function, main is
 /// never edited). \p StreamSeed is independent of Config.Seed so the

@@ -1,12 +1,14 @@
 //===- tests/test_support.cpp - Support library tests ---------------------===//
 //
 // Unit tests for src/support: UnionFind, SparseBitVector, SCC,
-// Worklist, ThreadPool, StringInterner, Statistics, GraphWriter.
+// Worklist, ThreadPool, StringInterner, Statistics, GraphWriter,
+// LatencyHistogram.
 //
 //===----------------------------------------------------------------------===//
 
 #include "support/ContentHash.h"
 #include "support/GraphWriter.h"
+#include "support/LatencyHistogram.h"
 #include "support/Scc.h"
 #include "support/SparseBitVector.h"
 #include "support/Statistics.h"
@@ -18,8 +20,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <random>
 #include <set>
+#include <thread>
+#include <vector>
 
 using namespace bsaa;
 
@@ -480,4 +485,124 @@ TEST(GraphWriter, EmitsValidDot) {
   EXPECT_NE(Dot.find("digraph \"test\""), std::string::npos);
   EXPECT_NE(Dot.find("\"n1\" -> \"n2\""), std::string::npos);
   EXPECT_NE(Dot.find("\\\"quoted\\\""), std::string::npos);
+}
+
+//===--------------------------------------------------------------------===//
+// LatencyHistogram
+//===--------------------------------------------------------------------===//
+
+TEST(LatencyHistogram, SmallValuesGetExactBuckets) {
+  // Values below SubBuckets occupy one bucket each, bit-exact.
+  for (uint64_t V = 0; V < support::LatencyHistogram::SubBuckets; ++V) {
+    EXPECT_EQ(support::LatencyHistogram::bucketIndex(V), V);
+    EXPECT_EQ(support::LatencyHistogram::bucketUpperBound(
+                  static_cast<uint32_t>(V)),
+              V);
+  }
+}
+
+TEST(LatencyHistogram, BucketLayoutIsContinuousAcrossOctaves) {
+  // The degenerate region [0, 16) hands off to octave 4 with no gap,
+  // and every octave boundary starts a fresh sub-slot 0.
+  EXPECT_EQ(support::LatencyHistogram::bucketIndex(15), 15u);
+  EXPECT_EQ(support::LatencyHistogram::bucketIndex(16), 16u);
+  EXPECT_EQ(support::LatencyHistogram::bucketIndex(31), 31u);
+  EXPECT_EQ(support::LatencyHistogram::bucketIndex(32), 32u);
+  // Octave 5 slots span 2 values: bucket 32 is [32, 33].
+  EXPECT_EQ(support::LatencyHistogram::bucketUpperBound(32), 33u);
+  EXPECT_EQ(support::LatencyHistogram::bucketIndex(33), 32u);
+  EXPECT_EQ(support::LatencyHistogram::bucketIndex(34), 33u);
+}
+
+TEST(LatencyHistogram, UpperBoundNeverUnderstatesAndErrorIsBounded) {
+  // For every sampled value: its bucket's upper bound is >= the value
+  // (quantiles never understate) and within the 1/SubBuckets relative
+  // resolution the log-linear layout promises.
+  std::mt19937_64 Rng(7);
+  for (int I = 0; I < 10000; ++I) {
+    uint64_t V = Rng() >> (Rng() % 64);
+    uint32_t Idx = support::LatencyHistogram::bucketIndex(V);
+    uint64_t Ub = support::LatencyHistogram::bucketUpperBound(Idx);
+    ASSERT_GE(Ub, V) << V;
+    ASSERT_LE(Ub - V, V / 8 + 1) << V; // Slot width <= value/16 + slack.
+    // The bound is tight: it lies in the same bucket as the value.
+    ASSERT_EQ(support::LatencyHistogram::bucketIndex(Ub), Idx) << V;
+  }
+  // The extreme value round-trips exactly (top slot wraps to max).
+  uint64_t Max = UINT64_MAX;
+  EXPECT_EQ(support::LatencyHistogram::bucketUpperBound(
+                support::LatencyHistogram::bucketIndex(Max)),
+            Max);
+}
+
+TEST(LatencyHistogram, QuantilesOverExactBucketsAreExact) {
+  support::LatencyHistogram H;
+  EXPECT_EQ(H.snapshot().quantileNanos(0.99), 0u); // Empty: 0 by contract.
+  for (uint64_t V = 0; V < 16; ++V)
+    H.record(V);
+  support::LatencyHistogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Total, 16u);
+  // Rank = ceil(q * 16): q=0 clamps to the first sample.
+  EXPECT_EQ(S.quantileNanos(0.0), 0u);
+  EXPECT_EQ(S.quantileNanos(0.5), 7u);   // 8th smallest of 0..15.
+  EXPECT_EQ(S.quantileNanos(1.0), 15u);
+  EXPECT_EQ(S.quantileNanos(2.0), 15u);  // Clamped.
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  support::LatencyHistogram A, B;
+  for (int I = 0; I < 10; ++I)
+    A.record(1);
+  for (int I = 0; I < 30; ++I)
+    B.record(9);
+  support::LatencyHistogram::Snapshot S = A.snapshot();
+  S.merge(B.snapshot());
+  EXPECT_EQ(S.Total, 40u);
+  EXPECT_EQ(S.Counts[1], 10u);
+  EXPECT_EQ(S.Counts[9], 30u);
+  EXPECT_EQ(S.quantileNanos(0.25), 1u);
+  EXPECT_EQ(S.quantileNanos(0.5), 9u);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordersNeverLoseCounts) {
+  support::LatencyHistogram H;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&H] {
+      for (int I = 0; I < PerThread; ++I)
+        H.record(static_cast<uint64_t>(I % 16));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  support::LatencyHistogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Total, static_cast<uint64_t>(NumThreads) * PerThread);
+  for (uint32_t V = 0; V < 16; ++V)
+    EXPECT_EQ(S.Counts[V],
+              static_cast<uint64_t>(NumThreads) * PerThread / 16)
+        << "bucket " << V;
+}
+
+TEST(LatencyHistogram, CountsFromExitedThreadsSurvive) {
+  support::LatencyHistogram H;
+  std::thread([&H] { H.record(5); }).join();
+  std::thread([&H] { H.record(5); }).join();
+  EXPECT_EQ(H.count(), 2u);
+  EXPECT_EQ(H.snapshot().Counts[5], 2u);
+}
+
+TEST(LatencyHistogram, DistinctInstancesNeverShareShards) {
+  // The thread-local shard cache is keyed by a never-reused instance
+  // id: a second histogram allocated after the first dies must not
+  // inherit its counts through a stale cache entry.
+  auto H1 = std::make_unique<support::LatencyHistogram>();
+  H1->record(3);
+  EXPECT_EQ(H1->count(), 1u);
+  H1.reset();
+  auto H2 = std::make_unique<support::LatencyHistogram>();
+  EXPECT_EQ(H2->count(), 0u);
+  H2->record(4);
+  EXPECT_EQ(H2->count(), 1u);
+  EXPECT_EQ(H2->snapshot().Counts[3], 0u);
 }

@@ -304,3 +304,58 @@ TEST(ThreadedDeterminism, RepeatedRunsYieldIdenticalStatsJson) {
 }
 
 } // namespace
+
+namespace {
+
+//===--------------------------------------------------------------------===//
+// waitAll() re-entrancy: the single-waiter audit (serving drains share
+// one pool across tenants; nothing in that path may call waitAll)
+//===--------------------------------------------------------------------===//
+
+TEST(ThreadPoolWait, WaitAllFromAWorkerThrowsInsteadOfDeadlocking) {
+  // A job calling waitAll() on its own pool can never be satisfied:
+  // the job itself counts in Pending. The pool detects the call and
+  // throws std::logic_error instead of hanging forever.
+  ThreadPool Pool(2);
+  std::atomic<bool> Threw{false};
+  ASSERT_TRUE(Pool.submit([&Pool, &Threw] {
+    try {
+      Pool.waitAll();
+    } catch (const std::logic_error &) {
+      Threw.store(true);
+    }
+  }));
+  Pool.waitAll(); // From a non-worker thread: legal, drains the job.
+  EXPECT_TRUE(Threw.load());
+}
+
+TEST(ThreadPoolWait, TwoProducersBothWaitForGlobalQuiescence) {
+  // waitAll() is global quiescence, not a per-caller batch: with two
+  // producer threads submitting concurrently, both waitAll() calls
+  // return only once every job of both producers has finished. This
+  // pins the documented semantics the serving registry designs around
+  // (it tracks its own per-tenant completion instead of waiting here).
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  std::atomic<int> ObservedAtWait[2] = {{-1}, {-1}};
+  std::thread Producers[2];
+  for (int P = 0; P < 2; ++P)
+    Producers[P] = std::thread([&, P] {
+      for (int I = 0; I < 16; ++I)
+        ASSERT_TRUE(Pool.submit([&Ran] {
+          Ran.fetch_add(1);
+        }));
+      Pool.waitAll();
+      // Everything THIS producer submitted has certainly run; the
+      // other producer may still be submitting, so the only exact
+      // claim is the final one below.
+      ObservedAtWait[P].store(Ran.load());
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  EXPECT_EQ(Ran.load(), 32);
+  EXPECT_GE(ObservedAtWait[0].load(), 16);
+  EXPECT_GE(ObservedAtWait[1].load(), 16);
+}
+
+} // namespace
