@@ -16,38 +16,78 @@
 //   * QueryEngine warm (second pass over the same pairs),
 //   * QueryEngine warm, multi-threaded batch.
 //
-// Usage: query_throughput [scale] [--stats-json]
+// Usage: query_throughput [scale] [--stats-json] [--store DIR]
 //
 // --stats-json appends a machine-readable JSON document (timings,
 // queries/sec, answer-source breakdown) on stdout -- CI uploads it as
 // an artifact.
+//
+// --store DIR additionally runs the persistent-store restart ablation:
+// a cold cascade with fresh caches writing through to the (initially
+// empty) store at DIR, then a simulated restart -- all-fresh in-memory
+// caches over a reopened store -- asserting the warm run is
+// byte-identical in replayable stats and verdicts while reviving its
+// summaries from disk. Exits nonzero on any divergence, so CI can gate
+// on it directly.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "core/AliasCover.h"
 #include "core/BootstrapDriver.h"
+#include "core/StoreCodecs.h"
 #include "query/QueryEngine.h"
+#include "support/Statistics.h"
 #include "support/Timer.h"
 
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 using namespace bsaa;
 using namespace bsaa::bench;
 
+namespace {
+
+/// The restart shape: every in-memory cache fresh, the store shared.
+core::BootstrapOptions storeBackedOptions(const std::string &Dir) {
+  core::BootstrapOptions O;
+  O.SummaryCache = std::make_shared<fscs::SummaryCache>();
+  O.RelevantSliceCache = std::make_shared<core::SliceCache>();
+  O.AndersenRefinementCache = std::make_shared<core::RefinementCache>();
+  O.StorePath = Dir;
+  core::openStoreAndAttach(O);
+  return O;
+}
+
+std::string replayableJson(const core::BootstrapResult &R) {
+  core::StatsJsonOptions O;
+  O.IncludeTimings = false;
+  O.IncludeCacheStats = false;
+  return core::toStatsJson(R, O);
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   bool StatsJson = false;
+  std::string StoreDir;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--stats-json") == 0) {
       StatsJson = true;
       for (int J = I; J + 1 < Argc; ++J)
         Argv[J] = Argv[J + 1];
       --Argc;
-      break;
+      --I;
+    } else if (std::strcmp(Argv[I], "--store") == 0 && I + 1 < Argc) {
+      StoreDir = Argv[I + 1];
+      for (int J = I; J + 2 < Argc; ++J)
+        Argv[J] = Argv[J + 2];
+      Argc -= 2;
+      --I;
     }
   }
 
@@ -124,6 +164,46 @@ int main(int Argc, char **Argv) {
   };
   double Speedup = ColdSeconds > 0 ? NaiveSeconds / ColdSeconds : 0.0;
 
+  // Persistent-store restart ablation (--store DIR).
+  bool StoreRun = !StoreDir.empty();
+  double StoreColdSeconds = 0, StoreWarmSeconds = 0, StoreHitRate = 0;
+  unsigned long long StorePuts = 0, StoreHits = 0;
+  bool StoreStatsIdentical = false, StoreVerdictsIdentical = false;
+  if (StoreRun) {
+    // Cold lifetime: fresh caches over the (presumed empty) store.
+    Statistics::global().clear();
+    core::BootstrapOptions ColdO = storeBackedOptions(StoreDir);
+    Timer ColdCascadeT;
+    core::BootstrapDriver ColdD(*P, ColdO);
+    ColdD.steensgaard();
+    std::vector<core::Cluster> ColdCover = ColdD.buildCover();
+    core::BootstrapResult ColdR = ColdD.runAll(ColdCover);
+    StoreColdSeconds = ColdCascadeT.seconds();
+    std::string ColdJson = replayableJson(ColdR);
+    StorePuts = ColdO.SummaryCache->counters().StorePuts;
+
+    // Warm restart: all-fresh caches, the store reopened from disk.
+    Statistics::global().clear();
+    core::BootstrapOptions WarmO = storeBackedOptions(StoreDir);
+    Timer WarmCascadeT;
+    core::BootstrapDriver WarmD(*P, WarmO);
+    WarmD.steensgaard();
+    std::vector<core::Cluster> WarmCover = WarmD.buildCover();
+    core::BootstrapResult WarmR = WarmD.runAll(WarmCover);
+    StoreWarmSeconds = WarmCascadeT.seconds();
+    StoreStatsIdentical = replayableJson(WarmR) == ColdJson;
+    support::CacheCounters C = WarmO.SummaryCache->counters();
+    StoreHits = C.StoreHits;
+    StoreHitRate = C.storeHitRate();
+
+    // Verdict identity: serve the whole pair batch from the warm
+    // cascade and compare against the storeless engine's answers.
+    query::QueryEngine WarmEngine;
+    WarmEngine.publish(query::QuerySnapshot::build(
+        P, std::move(WarmCover), &WarmR.Clusters, QOpts, WarmO.SummaryCache));
+    StoreVerdictsIdentical = WarmEngine.evalMayAlias(Batch, 0) == ColdAnswers;
+  }
+
   std::printf("Query throughput on autofs (scale %.2f): %zu pointers, "
               "%zu pairs, %zu clusters (cascade %.3fs)\n",
               Scale, Ptrs.size(), NumPairs, Result.Clusters.size(),
@@ -154,6 +234,16 @@ int main(int Argc, char **Argv) {
               (unsigned long long)St.Materializations,
               (unsigned long long)St.CacheAdoptions,
               (unsigned long long)St.Evictions);
+  if (StoreRun) {
+    std::printf("  store restart ablation (%s):\n", StoreDir.c_str());
+    std::printf("    cold cascade %.3fs (%llu records written), warm "
+                "restart %.3fs (%llu revived, hit rate %.2f)\n",
+                StoreColdSeconds, StorePuts, StoreWarmSeconds, StoreHits,
+                StoreHitRate);
+    std::printf("    warm stats %s, warm verdicts %s\n",
+                StoreStatsIdentical ? "byte-identical" : "DIVERGED",
+                StoreVerdictsIdentical ? "byte-identical" : "DIVERGED");
+  }
 
   if (StatsJson)
     std::printf(
@@ -168,7 +258,11 @@ int main(int Argc, char **Argv) {
         "\"answers\": {\"index\": %llu, \"fscs\": %llu, "
         "\"andersen\": %llu, \"steensgaard\": %llu}, "
         "\"materializations\": %llu, \"cache_adoptions\": %llu, "
-        "\"evictions\": %llu}\n",
+        "\"evictions\": %llu, "
+        "\"store\": {\"enabled\": %s, \"cold_cascade_seconds\": %.6f, "
+        "\"warm_cascade_seconds\": %.6f, \"store_puts\": %llu, "
+        "\"store_hits\": %llu, \"warm_store_hit_rate\": %.4f, "
+        "\"warm_stats_identical\": %s, \"warm_verdicts_identical\": %s}}\n",
         Scale, Ptrs.size(), NumPairs, Result.Clusters.size(),
         CascadeSeconds, NaiveSeconds, ColdSeconds, WarmSeconds, MtSeconds,
         Threads, Speedup, Qps(ColdSeconds), Qps(WarmSeconds),
@@ -180,6 +274,14 @@ int main(int Argc, char **Argv) {
         (unsigned long long)St.SteensgaardAnswers,
         (unsigned long long)St.Materializations,
         (unsigned long long)St.CacheAdoptions,
-        (unsigned long long)St.Evictions);
+        (unsigned long long)St.Evictions, StoreRun ? "true" : "false",
+        StoreColdSeconds, StoreWarmSeconds, StorePuts, StoreHits,
+        StoreHitRate, StoreStatsIdentical ? "true" : "false",
+        StoreVerdictsIdentical ? "true" : "false");
+
+  // Self-gating: a warm restart that changes any answer or any
+  // replayable stat is a correctness failure, not a perf regression.
+  if (StoreRun && (!StoreStatsIdentical || !StoreVerdictsIdentical))
+    return 1;
   return 0;
 }

@@ -252,14 +252,22 @@ int main(int Argc, char **Argv) {
     Coalesced += St.EditsCoalesced;
     Rejected += St.EditsRejected;
     Applied += St.EditsApplied;
-    WorstP99 = std::max(WorstP99, St.QueryP99Ms);
+    // Quantiles are optional now (null for an idle tenant); every
+    // tenant here served traffic, so treat a missing p99 as a failed
+    // oracle rather than a vacuous 0.
+    if (!St.QueryP99Ms || !St.PublishP99Ms) {
+      AllIdentical = false;
+      std::fprintf(stderr, "error: tenant %u missing latency quantiles\n", T);
+    }
+    WorstP99 = std::max(WorstP99, St.QueryP99Ms.value_or(0.0));
     std::printf("  %-10s %8llu %9llu %9llu %8llu %8llu %9.3f %9.3f %9.1f\n",
                 St.Name.c_str(), (unsigned long long)St.Queries,
                 (unsigned long long)St.EditsAccepted,
                 (unsigned long long)St.EditsCoalesced,
                 (unsigned long long)St.EditsRejected,
-                (unsigned long long)St.EditsApplied, St.QueryP50Ms,
-                St.QueryP99Ms, St.PublishP99Ms);
+                (unsigned long long)St.EditsApplied,
+                St.QueryP50Ms.value_or(0.0), St.QueryP99Ms.value_or(0.0),
+                St.PublishP99Ms.value_or(0.0));
   }
   double Qps = LoadSeconds > 0
                    ? static_cast<double>(TotalQueries) / LoadSeconds

@@ -476,7 +476,12 @@ void emitCacheReport(std::ostringstream &OS, const char *Name,
      << ", \"misses\": " << C.Counters.Misses
      << ", \"inserts\": " << C.Counters.Inserts
      << ", \"bytes\": " << C.Counters.Bytes
-     << ", \"hit_rate\": " << C.Counters.hitRate() << "},\n";
+     << ", \"hit_rate\": " << C.Counters.hitRate()
+     << ", \"store_hits\": " << C.Counters.StoreHits
+     << ", \"store_misses\": " << C.Counters.StoreMisses
+     << ", \"store_puts\": " << C.Counters.StorePuts
+     << ", \"store_hit_rate\": " << C.Counters.storeHitRate()
+     << ", \"trim_evictions\": " << C.Counters.TrimEvictions << "},\n";
 }
 
 } // namespace

@@ -137,6 +137,27 @@ struct BootstrapOptions {
   /// solve normally.
   const analysis::SteensgaardAnalysis *AdoptSteensgaard = nullptr;
 
+  /// Directory of the persistent CacheStore backing the caches above
+  /// (empty = no persistence). AliasService / IncrementalDriver /
+  /// TenantRegistry resolve this through core::openStoreAndAttach at
+  /// construction: every attached cache then writes winning inserts
+  /// through to disk and revives memory misses from it, so a restarted
+  /// process warm-starts instead of re-solving. BootstrapDriver itself
+  /// ignores the path -- callers that build drivers directly attach
+  /// stores to their caches explicitly.
+  std::string StorePath;
+
+  /// Already-open store to adopt instead of opening StorePath (takes
+  /// precedence when non-null). The serving registry opens one store
+  /// and stamps it here so every tenant shares it.
+  std::shared_ptr<support::CacheStore> Store;
+
+  /// Byte budget for the in-memory summary cache (0 = unlimited);
+  /// applied by openStoreAndAttach. Trimmed entries only re-miss --
+  /// with a store attached they usually revive from disk instead of
+  /// recomputing.
+  uint64_t SummaryCacheByteBudget = 0;
+
   /// Statistics registry this pipeline accumulates into (null = the
   /// process-wide Statistics::global()). Multi-tenant serving gives
   /// every tenant its own registry so concurrent re-analyses never

@@ -3,6 +3,7 @@
 #include "core/IncrementalDriver.h"
 
 #include "core/ClusterDependencies.h"
+#include "core/StoreCodecs.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 
@@ -20,6 +21,13 @@ IncrementalDriver::IncrementalDriver(BootstrapOptions Opts)
   if (!BaseOpts.AndersenRefinementCache)
     BaseOpts.AndersenRefinementCache = std::make_shared<RefinementCache>();
   BaseOpts.ScopedSummaryKeys = true;
+  // Persistence wiring: with a store configured, also give the slice
+  // cache a home (otherwise optional here), then back every cache with
+  // the store. Without one this still applies the byte budget.
+  if ((BaseOpts.Store || !BaseOpts.StorePath.empty()) &&
+      !BaseOpts.RelevantSliceCache)
+    BaseOpts.RelevantSliceCache = std::make_shared<SliceCache>();
+  openStoreAndAttach(BaseOpts);
 }
 
 Statistics &IncrementalDriver::statsRegistry() const {

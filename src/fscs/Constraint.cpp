@@ -55,6 +55,20 @@ Condition Condition::conjoinAll(const Condition &Other,
   return Out;
 }
 
+bool Condition::fromCanonicalAtoms(std::vector<ConstraintAtom> Atoms,
+                                   bool IsFalse, Condition &Out) {
+  // A false condition never carries atoms (falseCondition() and every
+  // conjoin collapse drop them), and live atom lists are sorted-unique.
+  if (IsFalse && !Atoms.empty())
+    return false;
+  for (size_t I = 1; I < Atoms.size(); ++I)
+    if (!(Atoms[I - 1] < Atoms[I]))
+      return false;
+  Out.Atoms = std::move(Atoms);
+  Out.IsFalse = IsFalse;
+  return true;
+}
+
 uint64_t Condition::hash() const {
   uint64_t H = IsFalse ? 0x12345 : 0xcbf29ce484222325ull;
   for (const ConstraintAtom &A : Atoms) {

@@ -95,6 +95,13 @@ public:
   /// This ∧ Other (atom-wise), with the same widening rule.
   Condition conjoinAll(const Condition &Other, size_t MaxAtoms) const;
 
+  /// Reconstructs a condition from already-canonical parts
+  /// (deserialization). Returns false without touching \p Out if the
+  /// atoms are not sorted-unique or a false condition carries atoms --
+  /// a malformed byte stream cannot construct a non-canonical value.
+  static bool fromCanonicalAtoms(std::vector<ConstraintAtom> Atoms,
+                                 bool IsFalse, Condition &Out);
+
   bool operator==(const Condition &O) const {
     return IsFalse == O.IsFalse && Atoms == O.Atoms;
   }

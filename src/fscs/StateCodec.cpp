@@ -1,0 +1,309 @@
+//===- fscs/StateCodec.cpp - CachedClusterRun <-> bytes -------------------===//
+
+#include "fscs/StateCodec.h"
+
+#include <algorithm>
+
+using namespace bsaa;
+using namespace bsaa::fscs;
+using support::ByteReader;
+using support::ByteWriter;
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void encodeRef(const ir::Ref &R, ByteWriter &W) {
+  W.u32(R.Var);
+  W.i8(R.Deref);
+}
+
+void encodeCondition(const Condition &C, ByteWriter &W) {
+  W.u8(C.isFalse() ? 1 : 0);
+  W.u32(static_cast<uint32_t>(C.atoms().size()));
+  for (const ConstraintAtom &A : C.atoms()) {
+    W.u32(A.Loc);
+    W.u8(static_cast<uint8_t>(A.Kind));
+    W.u32(A.A);
+    W.u32(A.B);
+  }
+}
+
+/// Unordered hash sets are serialized sorted for determinism.
+void encodeHashSet(const std::unordered_set<uint64_t> &S, ByteWriter &W) {
+  std::vector<uint64_t> V(S.begin(), S.end());
+  std::sort(V.begin(), V.end());
+  W.u32(static_cast<uint32_t>(V.size()));
+  for (uint64_t H : V)
+    W.u64(H);
+}
+
+void encodeSparseBitVector(const SparseBitVector &S, ByteWriter &W) {
+  W.u32(static_cast<uint32_t>(S.numChunks()));
+  S.forEachChunk([&W](uint32_t Base, uint64_t Bits) {
+    W.u32(Base);
+    W.u64(Bits);
+  });
+}
+
+void encodeState(const SummaryEngine::State &St, ByteWriter &W) {
+  W.u32(static_cast<uint32_t>(St.Keys.size()));
+  for (const SummaryEngine::KeyState &K : St.Keys) {
+    W.u32(K.AnchorLoc);
+    encodeRef(K.R, W);
+    W.u32(static_cast<uint32_t>(K.Results.size()));
+    for (const SummaryTuple &T : K.Results) {
+      encodeRef(T.Anchor, W);
+      W.u32(T.AnchorLoc);
+      encodeRef(T.Origin, W);
+      encodeCondition(T.Cond, W);
+    }
+    encodeHashSet(K.ResultHashes, W);
+    W.u32(static_cast<uint32_t>(K.WL.size()));
+    for (const SummaryEngine::TraversalTuple &T : K.WL) {
+      W.u32(T.M);
+      encodeRef(T.Q, W);
+      encodeCondition(T.Cond, W);
+    }
+    encodeHashSet(K.Seen, W);
+    W.u32(static_cast<uint32_t>(K.Waiters.size()));
+    for (const SummaryEngine::Waiter &Wt : K.Waiters) {
+      W.u32(Wt.Dependent);
+      W.u32(Wt.CallLoc);
+      encodeCondition(Wt.CondAtCall, W);
+      W.u64(Wt.Consumed);
+    }
+    encodeHashSet(K.WaiterHashes, W);
+  }
+  W.u32(static_cast<uint32_t>(St.KeyIndex.size()));
+  for (const auto &[MapKey, Id] : St.KeyIndex) {
+    W.u32(MapKey.first);
+    W.u64(MapKey.second);
+    W.u32(Id);
+  }
+  W.u32(static_cast<uint32_t>(St.FsciMemo.size()));
+  for (const auto &[MapKey, Bits] : St.FsciMemo) {
+    W.u32(MapKey.first);
+    W.u32(MapKey.second);
+    encodeSparseBitVector(Bits, W);
+  }
+  W.u64(St.Steps);
+  W.u8(St.BudgetHit ? 1 : 0);
+  W.u8(St.Approximated ? 1 : 0);
+}
+
+} // namespace
+
+void fscs::encodeCachedClusterRun(const CachedClusterRun &Run,
+                                  ByteWriter &W) {
+  encodeState(Run.Engine, W);
+  W.u32(Run.Dove.DepthLevels);
+  W.u32(Run.Dove.FsciQueries);
+  W.u8(Run.Dove.Complete ? 1 : 0);
+  W.u64(Run.Stats.Steps);
+  W.u64(Run.Stats.SummaryTuples);
+  W.u64(Run.Stats.Keys);
+  W.u8(Run.Stats.BudgetHit ? 1 : 0);
+  W.u8(Run.Stats.Approximated ? 1 : 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Decoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Element counts are length-prefixed from untrusted input; cap what a
+/// single count may claim so a corrupt length cannot drive a
+/// multi-gigabyte allocation before the bounds check catches it. Every
+/// element is at least one byte, so a count beyond the remaining input
+/// is a lie.
+bool plausibleCount(ByteReader &R, uint32_t N) {
+  if (static_cast<size_t>(N) > R.remaining()) {
+    R.fail();
+    return false;
+  }
+  return true;
+}
+
+ir::Ref decodeRef(ByteReader &R) {
+  ir::Ref Out;
+  Out.Var = R.u32();
+  Out.Deref = R.i8();
+  return Out;
+}
+
+bool decodeCondition(ByteReader &R, Condition &Out) {
+  bool IsFalse = R.u8() != 0;
+  uint32_t N = R.u32();
+  if (!plausibleCount(R, N))
+    return false;
+  std::vector<ConstraintAtom> Atoms;
+  Atoms.reserve(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    ConstraintAtom A;
+    A.Loc = R.u32();
+    uint8_t Kind = R.u8();
+    if (Kind > static_cast<uint8_t>(ConstraintKind::NotSameObject)) {
+      R.fail();
+      return false;
+    }
+    A.Kind = static_cast<ConstraintKind>(Kind);
+    A.A = R.u32();
+    A.B = R.u32();
+    Atoms.push_back(A);
+  }
+  if (!R.ok())
+    return false;
+  if (!Condition::fromCanonicalAtoms(std::move(Atoms), IsFalse, Out)) {
+    R.fail();
+    return false;
+  }
+  return true;
+}
+
+bool decodeHashSet(ByteReader &R, std::unordered_set<uint64_t> &Out) {
+  uint32_t N = R.u32();
+  if (!plausibleCount(R, N))
+    return false;
+  Out.reserve(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Out.insert(R.u64());
+  return R.ok();
+}
+
+bool decodeSparseBitVector(ByteReader &R, SparseBitVector &Out) {
+  uint32_t N = R.u32();
+  if (!plausibleCount(R, N))
+    return false;
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t Base = R.u32();
+    uint64_t Bits = R.u64();
+    if (!R.ok())
+      return false;
+    if (!Out.appendChunk(Base, Bits)) {
+      R.fail();
+      return false;
+    }
+  }
+  return R.ok();
+}
+
+bool decodeState(ByteReader &R, SummaryEngine::State &St) {
+  uint32_t NumKeys = R.u32();
+  if (!plausibleCount(R, NumKeys))
+    return false;
+  St.Keys.resize(NumKeys);
+  for (SummaryEngine::KeyState &K : St.Keys) {
+    K.AnchorLoc = R.u32();
+    K.R = decodeRef(R);
+    uint32_t NumResults = R.u32();
+    if (!plausibleCount(R, NumResults))
+      return false;
+    K.Results.resize(NumResults);
+    for (SummaryTuple &T : K.Results) {
+      T.Anchor = decodeRef(R);
+      T.AnchorLoc = R.u32();
+      T.Origin = decodeRef(R);
+      if (!decodeCondition(R, T.Cond))
+        return false;
+    }
+    if (!decodeHashSet(R, K.ResultHashes))
+      return false;
+    uint32_t NumWL = R.u32();
+    if (!plausibleCount(R, NumWL))
+      return false;
+    for (uint32_t I = 0; I < NumWL; ++I) {
+      SummaryEngine::TraversalTuple T;
+      T.M = R.u32();
+      T.Q = decodeRef(R);
+      if (!decodeCondition(R, T.Cond))
+        return false;
+      K.WL.push_back(std::move(T));
+    }
+    if (!decodeHashSet(R, K.Seen))
+      return false;
+    uint32_t NumWaiters = R.u32();
+    if (!plausibleCount(R, NumWaiters))
+      return false;
+    K.Waiters.resize(NumWaiters);
+    for (SummaryEngine::Waiter &Wt : K.Waiters) {
+      Wt.Dependent = R.u32();
+      if (Wt.Dependent >= NumKeys) {
+        R.fail();
+        return false;
+      }
+      Wt.CallLoc = R.u32();
+      if (!decodeCondition(R, Wt.CondAtCall))
+        return false;
+      Wt.Consumed = static_cast<size_t>(R.u64());
+    }
+    if (!decodeHashSet(R, K.WaiterHashes))
+      return false;
+  }
+
+  uint32_t NumIndex = R.u32();
+  if (!plausibleCount(R, NumIndex))
+    return false;
+  std::pair<ir::LocId, uint64_t> PrevIdxKey{};
+  for (uint32_t I = 0; I < NumIndex; ++I) {
+    std::pair<ir::LocId, uint64_t> MapKey;
+    MapKey.first = R.u32();
+    MapKey.second = R.u64();
+    uint32_t Id = R.u32();
+    // Strictly ascending keys (encode order) + in-range ids: the
+    // decoded map is exactly the encoded one, rebuilt in O(n).
+    if (!R.ok() || Id >= NumKeys || (I > 0 && !(PrevIdxKey < MapKey))) {
+      R.fail();
+      return false;
+    }
+    St.KeyIndex.emplace_hint(St.KeyIndex.end(), MapKey, Id);
+    PrevIdxKey = MapKey;
+  }
+
+  uint32_t NumMemo = R.u32();
+  if (!plausibleCount(R, NumMemo))
+    return false;
+  std::pair<ir::VarId, ir::LocId> PrevMemoKey{};
+  for (uint32_t I = 0; I < NumMemo; ++I) {
+    std::pair<ir::VarId, ir::LocId> MapKey;
+    MapKey.first = R.u32();
+    MapKey.second = R.u32();
+    if (!R.ok() || (I > 0 && !(PrevMemoKey < MapKey))) {
+      R.fail();
+      return false;
+    }
+    SparseBitVector Bits;
+    if (!decodeSparseBitVector(R, Bits))
+      return false;
+    St.FsciMemo.emplace_hint(St.FsciMemo.end(), MapKey, std::move(Bits));
+    PrevMemoKey = MapKey;
+  }
+
+  St.Steps = R.u64();
+  St.BudgetHit = R.u8() != 0;
+  St.Approximated = R.u8() != 0;
+  return R.ok();
+}
+
+} // namespace
+
+bool fscs::decodeCachedClusterRun(const uint8_t *Data, size_t Len,
+                                  CachedClusterRun &Out) {
+  ByteReader R(Data, Len);
+  if (!decodeState(R, Out.Engine))
+    return false;
+  Out.Dove.DepthLevels = R.u32();
+  Out.Dove.FsciQueries = R.u32();
+  Out.Dove.Complete = R.u8() != 0;
+  Out.Stats.Steps = R.u64();
+  Out.Stats.SummaryTuples = R.u64();
+  Out.Stats.Keys = R.u64();
+  Out.Stats.BudgetHit = R.u8() != 0;
+  Out.Stats.Approximated = R.u8() != 0;
+  // Exact consumption: trailing garbage would mean a layout mismatch
+  // the version byte failed to catch.
+  return R.atEnd();
+}

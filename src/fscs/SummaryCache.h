@@ -82,6 +82,18 @@ public:
     return Cache.insertShared(K, std::move(Run), /*ApproxBytes=*/0);
   }
 
+  /// Attaches \p Store as the persistent tier (see
+  /// support/CacheStore.h): winning inserts write their encoded run
+  /// through; memory misses attempt revival from disk. Wiring-time
+  /// only -- call before the cache sees traffic.
+  void attachStore(std::shared_ptr<support::CacheStore> Store);
+
+  bool hasStore() const { return Cache.hasStore(); }
+
+  /// Byte budget for the in-memory tier (0 = unlimited); see
+  /// ShardedCache::setByteBudget.
+  void setByteBudget(uint64_t B) { Cache.setByteBudget(B); }
+
   support::CacheCounters counters() const { return Cache.counters(); }
   uint64_t size() const { return Cache.size(); }
   void clear() { Cache.clear(); }

@@ -2,6 +2,7 @@
 
 #include "serving/TenantRegistry.h"
 
+#include "support/CacheStore.h"
 #include "support/Statistics.h"
 #include "support/ThreadPool.h"
 
@@ -58,7 +59,18 @@ const char *bsaa::serving::submitStatusName(SubmitStatus S) {
 
 TenantRegistry::TenantRegistry(ServingOptions OptsIn)
     : Opts(std::move(OptsIn)),
-      Pool(std::make_unique<ThreadPool>(Opts.DrainThreads)) {}
+      Pool(std::make_unique<ThreadPool>(Opts.DrainThreads)) {
+  // Warm tenant onboarding: resolve the persistent store once; every
+  // tenant added later gets fresh in-memory caches (isolation of
+  // counters and accounting) that all attach to this one store, so a
+  // new tenant whose program matches prior work -- a restart, a fleet
+  // of workers over one codebase -- revives whole cluster fixpoints
+  // from disk instead of re-solving them. Digests are keyed by program
+  // fingerprint, so tenants on different programs cannot contaminate
+  // each other.
+  if (!Opts.BOpts.Store && !Opts.BOpts.StorePath.empty())
+    Opts.BOpts.Store = support::CacheStore::open(Opts.BOpts.StorePath);
+}
 
 TenantRegistry::~TenantRegistry() {
   // Stop intake first so queues can only shrink from here on, then
@@ -455,13 +467,20 @@ TenantStats TenantRegistry::stats(TenantId T) const {
     St.QueueDepth = Ten.Queue.size();
   }
 
+  // Quantiles of an empty histogram stay nullopt: an idle tenant has
+  // no p99, which must not render as a gate-satisfying 0 ms.
+  auto Ms = [](std::optional<double> Secs) -> std::optional<double> {
+    if (!Secs)
+      return std::nullopt;
+    return *Secs * 1e3;
+  };
   support::LatencyHistogram::Snapshot Q = Ten.QueryLat.snapshot();
-  St.QueryP50Ms = Q.quantileSeconds(0.50) * 1e3;
-  St.QueryP95Ms = Q.quantileSeconds(0.95) * 1e3;
-  St.QueryP99Ms = Q.quantileSeconds(0.99) * 1e3;
+  St.QueryP50Ms = Ms(Q.quantileSecondsIfAny(0.50));
+  St.QueryP95Ms = Ms(Q.quantileSecondsIfAny(0.95));
+  St.QueryP99Ms = Ms(Q.quantileSecondsIfAny(0.99));
   support::LatencyHistogram::Snapshot P = Ten.PublishLat.snapshot();
-  St.PublishP50Ms = P.quantileSeconds(0.50) * 1e3;
-  St.PublishP99Ms = P.quantileSeconds(0.99) * 1e3;
+  St.PublishP50Ms = Ms(P.quantileSecondsIfAny(0.50));
+  St.PublishP99Ms = Ms(P.quantileSecondsIfAny(0.99));
 
   std::shared_ptr<const query::QuerySnapshot> S =
       Ten.Service->engine().snapshot();
@@ -495,12 +514,27 @@ std::string TenantRegistry::toStatsJson() const {
        << ", \"rejected\": " << St.EditsRejected
        << ", \"applied\": " << St.EditsApplied
        << ", \"queue_depth\": " << St.QueueDepth << "}";
+    // Absent quantiles (idle histogram) render as JSON null -- SLO
+    // gates must treat null as "no data", never as 0 ms.
+    auto Quant = [&OS](std::optional<double> V) {
+      if (V)
+        OS << *V;
+      else
+        OS << "null";
+    };
     OS << ",\n       \"queries\": " << St.Queries;
-    OS << ", \"query_ms\": {\"p50\": " << St.QueryP50Ms
-       << ", \"p95\": " << St.QueryP95Ms << ", \"p99\": " << St.QueryP99Ms
-       << "}";
-    OS << ",\n       \"publish_ms\": {\"p50\": " << St.PublishP50Ms
-       << ", \"p99\": " << St.PublishP99Ms << "}";
+    OS << ", \"query_ms\": {\"p50\": ";
+    Quant(St.QueryP50Ms);
+    OS << ", \"p95\": ";
+    Quant(St.QueryP95Ms);
+    OS << ", \"p99\": ";
+    Quant(St.QueryP99Ms);
+    OS << "}";
+    OS << ",\n       \"publish_ms\": {\"p50\": ";
+    Quant(St.PublishP50Ms);
+    OS << ", \"p99\": ";
+    Quant(St.PublishP99Ms);
+    OS << "}";
     OS << ",\n       \"race_warnings\": " << St.RaceWarnings;
     OS << ",\n       \"snapshot\": {\"index_answers\": "
        << St.Snapshot.IndexAnswers << ", \"fscs_answers\": "

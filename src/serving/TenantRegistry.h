@@ -65,6 +65,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -131,8 +132,12 @@ struct TenantStats {
   uint64_t QueueDepth = 0;
 
   uint64_t Queries = 0;
-  double QueryP50Ms = 0, QueryP95Ms = 0, QueryP99Ms = 0;
-  double PublishP50Ms = 0, PublishP99Ms = 0;
+  /// Latency quantiles are nullopt until the corresponding histogram
+  /// has a sample -- "no data" must stay distinguishable from "0 ms"
+  /// or an SLO gate passes vacuously on an idle tenant (toStatsJson
+  /// renders absent quantiles as JSON null).
+  std::optional<double> QueryP50Ms, QueryP95Ms, QueryP99Ms;
+  std::optional<double> PublishP50Ms, PublishP99Ms;
 
   uint64_t RaceWarnings = 0; ///< 0 unless EnableRaceCheck.
 

@@ -95,9 +95,10 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   return S;
 }
 
-uint64_t LatencyHistogram::Snapshot::quantileNanos(double Q) const {
+std::optional<uint64_t>
+LatencyHistogram::Snapshot::quantileNanosIfAny(double Q) const {
   if (Total == 0)
-    return 0;
+    return std::nullopt;
   Q = std::min(1.0, std::max(0.0, Q));
   // Rank of the target sample, 1-based: ceil(Q * Total), at least 1.
   uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total));

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 namespace bsaa {
@@ -74,10 +75,29 @@ public:
     std::array<uint64_t, NumBuckets> Counts{};
     uint64_t Total = 0;
 
+    bool empty() const { return Total == 0; }
+
     /// Smallest recorded upper bound B such that at least
-    /// ceil(q * Total) samples are <= B. Returns 0 on an empty
-    /// snapshot. \p Q is clamped to [0, 1].
-    uint64_t quantileNanos(double Q) const;
+    /// ceil(q * Total) samples are <= B, or nullopt on an empty
+    /// snapshot. \p Q is clamped to [0, 1]. This is the form SLO
+    /// gates must consume: an idle histogram has *no* p99, which is
+    /// not the same as a p99 of 0 ns, and reporting 0 would let a
+    /// latency gate pass vacuously on a tenant that served nothing.
+    std::optional<uint64_t> quantileNanosIfAny(double Q) const;
+
+    /// Legacy scalar form: quantileNanosIfAny collapsed to 0 on an
+    /// empty snapshot. Prefer the optional form anywhere "no data"
+    /// and "0 ns" must be distinguishable.
+    uint64_t quantileNanos(double Q) const {
+      return quantileNanosIfAny(Q).value_or(0);
+    }
+
+    std::optional<double> quantileSecondsIfAny(double Q) const {
+      auto N = quantileNanosIfAny(Q);
+      if (!N)
+        return std::nullopt;
+      return static_cast<double>(*N) * 1e-9;
+    }
 
     double quantileSeconds(double Q) const {
       return static_cast<double>(quantileNanos(Q)) * 1e-9;

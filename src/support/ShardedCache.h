@@ -22,14 +22,32 @@
 /// values), the second insert is dropped. This keeps reads repeatable
 /// within a run.
 ///
+/// Two optional tiers extend the in-memory map:
+///
+///  - A persistent CacheStore backing (attachStore): lookups falling
+///    through the map consult the store and, on a decodable record of
+///    the expected codec version, re-publish the value in memory;
+///    winning inserts write through. Anything wrong with the stored
+///    bytes -- absent key, version skew, failed decode -- is just a
+///    miss, so a corrupt store can cost time, never correctness.
+///
+///  - A byte budget (setByteBudget): when the Bytes gauge exceeds the
+///    budget, the least-recently-touched entries are evicted until it
+///    fits. Eviction only turns future hits into re-misses; it cannot
+///    change any answer, because entries are immutable and re-derivable
+///    from their keys.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BSAA_SUPPORT_SHARDEDCACHE_H
 #define BSAA_SUPPORT_SHARDEDCACHE_H
 
+#include "support/CacheStore.h"
 #include "support/ContentHash.h"
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -44,11 +62,40 @@ struct CacheCounters {
   uint64_t Misses = 0;
   uint64_t Inserts = 0;
   uint64_t Bytes = 0; ///< Approximate payload bytes currently held.
+  uint64_t StoreHits = 0;   ///< Memory misses served from the store.
+  uint64_t StoreMisses = 0; ///< Memory misses the store couldn't serve.
+  uint64_t StorePuts = 0;   ///< Winning inserts written through.
+  uint64_t TrimEvictions = 0; ///< Entries evicted by the byte budget.
 
   double hitRate() const {
     uint64_t Total = Hits + Misses;
     return Total ? double(Hits) / double(Total) : 0.0;
   }
+  /// Of the lookups that missed memory, the fraction the store served
+  /// -- the warm-restart figure of merit.
+  double storeHitRate() const {
+    uint64_t Total = StoreHits + StoreMisses;
+    return Total ? double(StoreHits) / double(Total) : 0.0;
+  }
+};
+
+/// How a ShardedCache talks to its persistent tier: one codec (a
+/// family tag, a version byte, encode/decode functions) plus a byte
+/// estimator for entries revived from disk.
+template <typename V> struct CacheStoreBacking {
+  std::shared_ptr<CacheStore> Store;
+  uint8_t Family = 0;
+  uint8_t Version = 0;
+  /// Serializes \p V into the writer. Must be deterministic.
+  std::function<void(const V &, ByteWriter &)> Encode;
+  /// Decodes a payload into \p Out; returns false (never throws) on any
+  /// malformed input.
+  std::function<bool(const uint8_t *, size_t, V &)> Decode;
+  /// Byte-gauge estimate for a value revived from the store (same scale
+  /// as the ApproxBytes the original insert would have charged).
+  std::function<uint64_t(const V &)> ApproxBytes;
+
+  explicit operator bool() const { return Store != nullptr; }
 };
 
 /// Sharded content-addressed map from Digest to immutable values.
@@ -57,58 +104,86 @@ public:
   explicit ShardedCache(size_t NumShards = 16)
       : Shards(NumShards ? NumShards : 1) {}
 
+  /// Attaches the persistent tier. Not thread-safe: call before the
+  /// cache sees traffic (construction-time wiring).
+  void attachStore(CacheStoreBacking<V> B) { Backing = std::move(B); }
+
+  bool hasStore() const { return static_cast<bool>(Backing); }
+  std::shared_ptr<CacheStore> store() const { return Backing.Store; }
+
+  /// Sets the byte budget (0 = unlimited). When the Bytes gauge
+  /// exceeds it, least-recently-touched entries are evicted down to
+  /// the budget at the next insert or store-revival.
+  void setByteBudget(uint64_t B) {
+    ByteBudget.store(B, std::memory_order_relaxed);
+  }
+
   /// Returns the cached value or nullptr; bumps the hit/miss counter.
+  /// On a memory miss with a store attached, attempts revival from
+  /// disk (counted as StoreHits + Hits when it succeeds).
   std::shared_ptr<const V> lookup(const Digest &K) {
     Shard &S = shardFor(K);
     std::shared_ptr<const V> Out;
     {
       std::lock_guard<std::mutex> Lock(S.M);
       auto It = S.Map.find(K);
-      if (It != S.Map.end())
-        Out = It->second;
+      if (It != S.Map.end()) {
+        It->second.Tick = nextTick();
+        Out = It->second.Val;
+      }
     }
-    if (Out)
+    if (Out) {
       Hits.fetch_add(1, std::memory_order_relaxed);
-    else
-      Misses.fetch_add(1, std::memory_order_relaxed);
-    return Out;
+      return Out;
+    }
+    if (Backing) {
+      Out = reviveFromStore(K);
+      if (Out) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return Out;
+      }
+    }
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
   }
 
   /// Publishes \p Val under \p K (first insert wins). \p ApproxBytes is
   /// the caller's payload-size estimate for the byte gauge. Returns the
   /// value now cached under the key.
+  ///
+  /// A racing loser pays nothing: the key is checked under the shard
+  /// lock *before* the shared_ptr copy is constructed or any bytes are
+  /// charged, so losing the first-wins race costs one map probe.
   std::shared_ptr<const V> insert(const Digest &K, V Val,
                                   uint64_t ApproxBytes) {
-    auto Entry = std::make_shared<const V>(std::move(Val));
     Shard &S = shardFor(K);
     {
       std::lock_guard<std::mutex> Lock(S.M);
-      auto [It, New] = S.Map.emplace(K, Entry);
-      if (!New)
-        return It->second;
+      auto It = S.Map.find(K);
+      if (It != S.Map.end())
+        return It->second.Val;
     }
-    Inserts.fetch_add(1, std::memory_order_relaxed);
-    Bytes.fetch_add(ApproxBytes, std::memory_order_relaxed);
-    return Entry;
+    auto Entry = std::make_shared<const V>(std::move(Val));
+    return publish(S, K, std::move(Entry), ApproxBytes, /*WriteThrough=*/true);
   }
 
   /// Publishes an already-shared payload under \p K (first insert
   /// wins). Lets one payload live under several keys -- e.g. an exact
   /// program-fingerprint key and a dependency-scoped key -- without
   /// duplicating it; \p ApproxBytes should then be 0 for the aliases.
+  /// Aliases are written through under their own key so scope-keyed
+  /// lookups hit the store after a restart too.
   std::shared_ptr<const V> insertShared(const Digest &K,
                                         std::shared_ptr<const V> Entry,
                                         uint64_t ApproxBytes) {
     Shard &S = shardFor(K);
     {
       std::lock_guard<std::mutex> Lock(S.M);
-      auto [It, New] = S.Map.emplace(K, Entry);
-      if (!New)
-        return It->second;
+      auto It = S.Map.find(K);
+      if (It != S.Map.end())
+        return It->second.Val;
     }
-    Inserts.fetch_add(1, std::memory_order_relaxed);
-    Bytes.fetch_add(ApproxBytes, std::memory_order_relaxed);
-    return Entry;
+    return publish(S, K, std::move(Entry), ApproxBytes, /*WriteThrough=*/true);
   }
 
   /// Drops every entry; counters keep accumulating.
@@ -135,13 +210,23 @@ public:
     C.Misses = Misses.load(std::memory_order_relaxed);
     C.Inserts = Inserts.load(std::memory_order_relaxed);
     C.Bytes = Bytes.load(std::memory_order_relaxed);
+    C.StoreHits = StoreHits.load(std::memory_order_relaxed);
+    C.StoreMisses = StoreMisses.load(std::memory_order_relaxed);
+    C.StorePuts = StorePuts.load(std::memory_order_relaxed);
+    C.TrimEvictions = TrimEvictions.load(std::memory_order_relaxed);
     return C;
   }
 
 private:
+  struct Entry {
+    std::shared_ptr<const V> Val;
+    uint64_t ChargedBytes = 0; ///< What this entry added to the gauge.
+    uint64_t Tick = 0;         ///< Last-touch stamp for LRU trimming.
+  };
+
   struct Shard {
     mutable std::mutex M;
-    std::unordered_map<Digest, std::shared_ptr<const V>, DigestHash> Map;
+    std::unordered_map<Digest, Entry, DigestHash> Map;
   };
 
   Shard &shardFor(const Digest &K) {
@@ -150,8 +235,118 @@ private:
     return Shards[K.Hi % Shards.size()];
   }
 
+  uint64_t nextTick() {
+    return Clock.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Inserts \p Entry under \p K unless a racer got there first; on a
+  /// win, charges the gauge, bumps Inserts if \p CountInsert, writes
+  /// through to the store if requested, and trims. Returns the value
+  /// now cached under the key.
+  std::shared_ptr<const V> publish(Shard &S, const Digest &K,
+                                   std::shared_ptr<const V> Entry,
+                                   uint64_t ApproxBytes, bool WriteThrough,
+                                   bool CountInsert = true) {
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto [It, New] =
+          S.Map.try_emplace(K, ShardedCache::Entry{Entry, ApproxBytes, 0});
+      It->second.Tick = nextTick();
+      if (!New)
+        return It->second.Val;
+    }
+    if (CountInsert)
+      Inserts.fetch_add(1, std::memory_order_relaxed);
+    Bytes.fetch_add(ApproxBytes, std::memory_order_relaxed);
+    if (WriteThrough && Backing && Backing.Encode) {
+      // Encode outside every lock: the store is the slow tier and the
+      // payload is immutable.
+      ByteWriter W;
+      Backing.Encode(*Entry, W);
+      if (Backing.Store->put(K, Backing.Family, Backing.Version, W.bytes()))
+        StorePuts.fetch_add(1, std::memory_order_relaxed);
+    }
+    maybeTrim();
+    return Entry;
+  }
+
+  /// Memory-miss path: consult the store, decode, re-publish. Returns
+  /// nullptr (and counts a StoreMiss) unless a record with the expected
+  /// family and version decodes cleanly.
+  std::shared_ptr<const V> reviveFromStore(const Digest &K) {
+    auto Rec = Backing.Store->get(K, Backing.Family);
+    if (Rec && Rec->Version == Backing.Version && Backing.Decode) {
+      V Val;
+      if (Backing.Decode(Rec->Payload.data(), Rec->Payload.size(), Val)) {
+        uint64_t B = Backing.ApproxBytes ? Backing.ApproxBytes(Val) : 0;
+        auto Entry = std::make_shared<const V>(std::move(Val));
+        StoreHits.fetch_add(1, std::memory_order_relaxed);
+        // Revivals are not Inserts (they'd skew insert-vs-compute
+        // accounting) and never write back what was just read.
+        return publish(shardFor(K), K, std::move(Entry), B,
+                       /*WriteThrough=*/false, /*CountInsert=*/false);
+      }
+    }
+    StoreMisses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  /// Evicts least-recently-touched entries until the gauge fits the
+  /// budget. One trimmer at a time; concurrent callers return
+  /// immediately (the active trimmer observes their bytes).
+  void maybeTrim() {
+    uint64_t Budget = ByteBudget.load(std::memory_order_relaxed);
+    if (Budget == 0 || Bytes.load(std::memory_order_relaxed) <= Budget)
+      return;
+    bool Expected = false;
+    if (!TrimActive.compare_exchange_strong(Expected, true,
+                                            std::memory_order_acquire))
+      return;
+
+    struct Victim {
+      uint64_t Tick;
+      uint64_t ChargedBytes;
+      uint32_t ShardIdx;
+      Digest Key;
+    };
+    std::vector<Victim> Candidates;
+    for (uint32_t SI = 0; SI < Shards.size(); ++SI) {
+      Shard &S = Shards[SI];
+      std::lock_guard<std::mutex> Lock(S.M);
+      for (const auto &[K, E] : S.Map)
+        Candidates.push_back(Victim{E.Tick, E.ChargedBytes, SI, K});
+    }
+    // Oldest first. Zero-byte aliases are candidates too: evicting
+    // them frees no gauge bytes directly but releases their reference
+    // to a payload whose charged twin may already be gone.
+    std::sort(Candidates.begin(), Candidates.end(),
+              [](const Victim &A, const Victim &B) { return A.Tick < B.Tick; });
+
+    for (const Victim &C : Candidates) {
+      if (Bytes.load(std::memory_order_relaxed) <= Budget)
+        break;
+      Shard &S = Shards[C.ShardIdx];
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(C.Key);
+      // Skip entries touched since the snapshot: they earned a
+      // reprieve (and their ChargedBytes may describe a replacement).
+      if (It == S.Map.end() || It->second.Tick != C.Tick)
+        continue;
+      Bytes.fetch_sub(It->second.ChargedBytes, std::memory_order_relaxed);
+      S.Map.erase(It);
+      TrimEvictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    TrimActive.store(false, std::memory_order_release);
+  }
+
   std::vector<Shard> Shards;
+  CacheStoreBacking<V> Backing;
   std::atomic<uint64_t> Hits{0}, Misses{0}, Inserts{0}, Bytes{0};
+  std::atomic<uint64_t> StoreHits{0}, StoreMisses{0}, StorePuts{0};
+  std::atomic<uint64_t> TrimEvictions{0};
+  std::atomic<uint64_t> Clock{0};
+  std::atomic<uint64_t> ByteBudget{0};
+  std::atomic<bool> TrimActive{false};
 };
 
 } // namespace support

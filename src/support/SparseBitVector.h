@@ -75,6 +75,27 @@ public:
   /// chunks, not vector capacity).
   uint64_t approxBytes() const { return Chunks.size() * sizeof(Chunk); }
 
+  /// Number of stored chunks (serialization sizing).
+  size_t numChunks() const { return Chunks.size(); }
+
+  /// Calls \p Fn(Base, Bits) for each chunk in ascending Base order --
+  /// the raw representation, for serialization.
+  template <typename FnT> void forEachChunk(FnT Fn) const {
+    for (const Chunk &C : Chunks)
+      Fn(C.Base, C.Bits);
+  }
+
+  /// Appends a raw chunk (deserialization). Enforces the invariants --
+  /// strictly ascending Base, nonzero Bits -- and returns false without
+  /// modifying the set when they are violated, so a malformed byte
+  /// stream cannot construct an invalid vector.
+  bool appendChunk(uint32_t Base, uint64_t Bits) {
+    if (Bits == 0 || (!Chunks.empty() && Chunks.back().Base >= Base))
+      return false;
+    Chunks.push_back(Chunk{Base, Bits});
+    return true;
+  }
+
   /// Calls \p Fn(Element) for each element in ascending order.
   template <typename FnT> void forEach(FnT Fn) const {
     for (const Chunk &C : Chunks) {

@@ -32,6 +32,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -462,4 +464,107 @@ TEST(Serving, ToStatsJsonCoversEveryTenant) {
   EXPECT_NE(Json.find("\"ready\": true"), std::string::npos) << Json;
   EXPECT_NE(Json.find("\"ready\": false"), std::string::npos) << Json;
   EXPECT_NE(Json.find("\"query_ms\""), std::string::npos) << Json;
+}
+
+TEST(Serving, IdleTenantQuantilesAreNullNotZero) {
+  // An SLO gate reading "p99": 0 for a tenant that never served a query
+  // would pass vacuously; absent data must render as JSON null and as
+  // empty optionals in TenantStats.
+  serving::TenantRegistry Reg(servingOptions());
+  serving::TenantId T = Reg.addTenant("idle");
+
+  serving::TenantStats St = Reg.stats(T);
+  EXPECT_FALSE(St.QueryP50Ms.has_value());
+  EXPECT_FALSE(St.QueryP95Ms.has_value());
+  EXPECT_FALSE(St.QueryP99Ms.has_value());
+  EXPECT_FALSE(St.PublishP50Ms.has_value());
+  EXPECT_FALSE(St.PublishP99Ms.has_value());
+
+  std::string Json = Reg.toStatsJson();
+  EXPECT_NE(
+      Json.find("\"query_ms\": {\"p50\": null, \"p95\": null, \"p99\": null}"),
+      std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("\"publish_ms\": {\"p50\": null, \"p99\": null}"),
+            std::string::npos)
+      << Json;
+
+  // Once traffic exists the quantiles materialize.
+  workload::GeneratorConfig Cfg = editableConfig(8, /*Seed=*/600);
+  workload::EditState St0 = workload::initialEditState(Cfg);
+  ASSERT_EQ(Reg.submitEdit(T, compileVersion(Cfg, St0), "", 0),
+            serving::SubmitStatus::Accepted);
+  Reg.waitIdle();
+  (void)Reg.evalMayAlias(T, pointerPairs(Reg.snapshot(T)->program(), 10));
+  St = Reg.stats(T);
+  EXPECT_TRUE(St.QueryP99Ms.has_value());
+  EXPECT_TRUE(St.PublishP99Ms.has_value());
+}
+
+//===--------------------------------------------------------------------===//
+// Warm-start onboarding from a shared persistent store
+//===--------------------------------------------------------------------===//
+
+TEST(Serving, WarmStartFromSharedStoreMatchesColdRegistry) {
+  std::string Tmpl =
+      (std::filesystem::temp_directory_path() / "bsaa_serve_XXXXXX").string();
+  ASSERT_NE(::mkdtemp(Tmpl.data()), nullptr);
+  const std::string StoreDir = Tmpl;
+
+  workload::GeneratorConfig Cfg = editableConfig(8, /*Seed=*/700);
+  workload::EditState St = workload::initialEditState(Cfg);
+
+  auto StoreOptions = [&StoreDir] {
+    serving::ServingOptions SOpts = servingOptions();
+    SOpts.BOpts.AndersenThreshold = 4; // Many clusters -> many records.
+    SOpts.BOpts.StorePath = StoreDir;
+    return SOpts;
+  };
+
+  std::vector<uint8_t> ColdVerdicts;
+  std::string ColdJson;
+  {
+    // First process lifetime: a cold registry populates the store.
+    serving::TenantRegistry Cold(StoreOptions());
+    serving::TenantId T = Cold.addTenant("cold");
+    ASSERT_EQ(Cold.submitEdit(T, compileVersion(Cfg, St), "", 0),
+              serving::SubmitStatus::Accepted);
+    Cold.waitIdle();
+    ASSERT_TRUE(Cold.ready(T));
+    ColdVerdicts =
+        Cold.evalMayAlias(T, pointerPairs(Cold.snapshot(T)->program()));
+    core::IncrementalDriver &Inc = Cold.service(T).driver();
+    ColdJson =
+        core::toStatsJson(Inc.lastResult(), Strip, Inc.statsRegistry());
+    support::CacheCounters C = Inc.options().SummaryCache->counters();
+    EXPECT_GT(C.StorePuts, 0u) << "cold run must seed the store";
+    EXPECT_EQ(C.StoreHits, 0u);
+  }
+
+  // Second process lifetime: a brand-new registry over the same store
+  // directory. The freshly onboarded tenant has all-fresh in-memory
+  // caches, so every summary it needs must come off disk.
+  serving::TenantRegistry Warm(StoreOptions());
+  serving::TenantId T = Warm.addTenant("warm");
+  ASSERT_EQ(Warm.submitEdit(T, compileVersion(Cfg, St), "", 0),
+            serving::SubmitStatus::Accepted);
+  Warm.waitIdle();
+  ASSERT_TRUE(Warm.ready(T));
+
+  EXPECT_EQ(Warm.evalMayAlias(T, pointerPairs(Warm.snapshot(T)->program())),
+            ColdVerdicts);
+  core::IncrementalDriver &Inc = Warm.service(T).driver();
+  EXPECT_EQ(core::toStatsJson(Inc.lastResult(), Strip, Inc.statsRegistry()),
+            ColdJson)
+      << "warm-started tenant must replay byte-identical stats";
+
+  support::CacheCounters C = Inc.options().SummaryCache->counters();
+  EXPECT_GT(C.StoreHits, 0u) << "nothing revived from the shared store";
+  EXPECT_EQ(C.Inserts, 0u)
+      << "a fully warm tenant revives every summary instead of computing";
+  EXPECT_GE(C.storeHitRate(), 0.5)
+      << "ISSUE acceptance: warm hit rate >= 0.5";
+
+  std::error_code Ec;
+  std::filesystem::remove_all(StoreDir, Ec);
 }

@@ -535,6 +535,24 @@ TEST(LatencyHistogram, UpperBoundNeverUnderstatesAndErrorIsBounded) {
             Max);
 }
 
+TEST(LatencyHistogram, EmptySnapshotReportsNoQuantiles) {
+  // An SLO gate comparing "p99 <= threshold" must not pass vacuously on
+  // a histogram that never saw a sample: the explicit interface reports
+  // absence, and only the legacy shim maps it to 0.
+  support::LatencyHistogram H;
+  support::LatencyHistogram::Snapshot S = H.snapshot();
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.quantileNanosIfAny(0.5).has_value());
+  EXPECT_FALSE(S.quantileNanosIfAny(0.99).has_value());
+  EXPECT_FALSE(S.quantileSecondsIfAny(0.99).has_value());
+  EXPECT_EQ(S.quantileNanos(0.99), 0u); // Legacy shim: value_or(0).
+  H.record(5);
+  S = H.snapshot();
+  EXPECT_FALSE(S.empty());
+  ASSERT_TRUE(S.quantileNanosIfAny(0.99).has_value());
+  EXPECT_EQ(*S.quantileNanosIfAny(0.99), 5u);
+}
+
 TEST(LatencyHistogram, QuantilesOverExactBucketsAreExact) {
   support::LatencyHistogram H;
   EXPECT_EQ(H.snapshot().quantileNanos(0.99), 0u); // Empty: 0 by contract.
