@@ -17,6 +17,7 @@
 //   * QueryEngine warm, multi-threaded batch.
 //
 // Usage: query_throughput [scale] [--stats-json] [--store DIR]
+//                         [--cold-p99]
 //
 // --stats-json appends a machine-readable JSON document (timings,
 // queries/sec, answer-source breakdown) on stdout -- CI uploads it as
@@ -30,6 +31,15 @@
 // summaries from disk. Exits nonzero on any divergence, so CI can gate
 // on it directly.
 //
+// --cold-p99 runs the cold-cluster tail-latency ablation: the first
+// touch of every cluster (one may-alias pair per cluster, no summary
+// cache, so every materialization is genuinely cold) served by an
+// eager snapshot vs a demand-mode snapshot with background promotion.
+// Reports per-query p50/p99 for both, asserts every demand verdict
+// equals the eager one (during the partial phase AND after promotions
+// drain), and exits nonzero unless cold p99 improved at least 2x with
+// zero mismatches -- the CI gate for the demand-serving path.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -37,7 +47,9 @@
 #include "core/BootstrapDriver.h"
 #include "core/StoreCodecs.h"
 #include "query/QueryEngine.h"
+#include "support/LatencyHistogram.h"
 #include "support/Statistics.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -74,10 +86,17 @@ std::string replayableJson(const core::BootstrapResult &R) {
 
 int main(int Argc, char **Argv) {
   bool StatsJson = false;
+  bool ColdP99 = false;
   std::string StoreDir;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--stats-json") == 0) {
       StatsJson = true;
+      for (int J = I; J + 1 < Argc; ++J)
+        Argv[J] = Argv[J + 1];
+      --Argc;
+      --I;
+    } else if (std::strcmp(Argv[I], "--cold-p99") == 0) {
+      ColdP99 = true;
       for (int J = I; J + 1 < Argc; ++J)
         Argv[J] = Argv[J + 1];
       --Argc;
@@ -131,6 +150,13 @@ int main(int Argc, char **Argv) {
     }
   }
   double NaiveSeconds = NaiveT.seconds();
+
+  // The cold-p99 ablation needs its own cover: the main engine below
+  // consumes Cover, and sharing materialized entries would defeat the
+  // point of measuring first touches.
+  std::vector<core::Cluster> ColdCover;
+  if (ColdP99)
+    ColdCover = Cover;
 
   // Engine: cold pass (materialization on demand), warm pass, warm
   // multi-threaded batch -- all over the identical query set.
@@ -204,6 +230,101 @@ int main(int Argc, char **Argv) {
     StoreVerdictsIdentical = WarmEngine.evalMayAlias(Batch, 0) == ColdAnswers;
   }
 
+  // Cold-cluster tail-latency ablation (--cold-p99): eager vs demand
+  // serving over genuinely cold entries (no summary cache to adopt
+  // from), one first-touch query per cluster.
+  size_t ColdQueries = 0;
+  double EagerP50Ms = 0, EagerP99Ms = 0, DemandP50Ms = 0, DemandP99Ms = 0;
+  double ColdImprovement = 0;
+  unsigned long long ColdMismatches = 0, PostMismatches = 0;
+  unsigned long long ColdPartialAnswers = 0, ColdPromotions = 0;
+  if (ColdP99) {
+    // First touch of every cluster: its first two pointer members at
+    // their canonical location. Each query lands on a cluster nobody
+    // has materialized yet -- the tail this ablation measures.
+    struct ColdQuery {
+      ir::VarId A, B;
+      ir::LocId Loc;
+    };
+    std::vector<ColdQuery> ColdQs;
+    for (const core::Cluster &C : ColdCover) {
+      ir::VarId A = ir::InvalidVar, B = ir::InvalidVar;
+      for (ir::VarId V : C.Members) {
+        if (!P->var(V).isPointer())
+          continue;
+        if (A == ir::InvalidVar) {
+          A = V;
+        } else {
+          B = V;
+          break;
+        }
+      }
+      if (B == ir::InvalidVar)
+        continue;
+      ir::LocId Loc = query::canonicalAliasLoc(*P, A, B);
+      if (Loc == ir::InvalidLoc)
+        continue;
+      ColdQs.push_back({A, B, Loc});
+    }
+    ColdQueries = ColdQs.size();
+
+    // Pool outlives both snapshots (declared first): a promotion worker
+    // releasing the last snapshot reference must never destroy the pool
+    // it is running on.
+    auto PromoPool = std::make_shared<ThreadPool>(2);
+    query::QueryOptions EagerOpts;
+    EagerOpts.EngineOpts = BOpts.EngineOpts;
+    query::QueryOptions DemandOpts = EagerOpts;
+    DemandOpts.DemandMode = true;
+    DemandOpts.PromotionPool = PromoPool;
+    std::shared_ptr<const query::QuerySnapshot> EagerSnap =
+        query::QuerySnapshot::build(P, ColdCover, &Result.Clusters,
+                                    EagerOpts, nullptr);
+    std::shared_ptr<const query::QuerySnapshot> DemandSnap =
+        query::QuerySnapshot::build(P, std::move(ColdCover),
+                                    &Result.Clusters, DemandOpts, nullptr);
+
+    support::LatencyHistogram EagerH, DemandH;
+    std::vector<uint8_t> EagerVerdicts;
+    EagerVerdicts.reserve(ColdQs.size());
+    for (const ColdQuery &Q : ColdQs) {
+      Timer T;
+      query::AliasAnswer A = EagerSnap->mayAliasAt(Q.A, Q.B, Q.Loc);
+      EagerH.record(static_cast<uint64_t>(T.seconds() * 1e9));
+      EagerVerdicts.push_back(A.MayAlias ? 1 : 0);
+    }
+    for (size_t I = 0; I < ColdQs.size(); ++I) {
+      const ColdQuery &Q = ColdQs[I];
+      Timer T;
+      query::AliasAnswer A = DemandSnap->mayAliasAt(Q.A, Q.B, Q.Loc);
+      DemandH.record(static_cast<uint64_t>(T.seconds() * 1e9));
+      if ((A.MayAlias ? 1 : 0) != EagerVerdicts[I])
+        ++ColdMismatches;
+    }
+
+    // Drain promotions, then every answer must be identical to the
+    // never-partial snapshot's -- verdict and provenance both.
+    DemandSnap->waitPromotionsIdle();
+    for (size_t I = 0; I < ColdQs.size(); ++I) {
+      const ColdQuery &Q = ColdQs[I];
+      query::AliasAnswer E = EagerSnap->mayAliasAt(Q.A, Q.B, Q.Loc);
+      query::AliasAnswer D = DemandSnap->mayAliasAt(Q.A, Q.B, Q.Loc);
+      if (E.MayAlias != D.MayAlias || E.Source != D.Source)
+        ++PostMismatches;
+    }
+    query::SnapshotStats DSt = DemandSnap->stats();
+    ColdPartialAnswers = DSt.FscsPartialAnswers;
+    ColdPromotions = DSt.PromotionsCompleted;
+
+    support::LatencyHistogram::Snapshot ES = EagerH.snapshot();
+    support::LatencyHistogram::Snapshot DS = DemandH.snapshot();
+    EagerP50Ms = ES.quantileSecondsIfAny(0.50).value_or(0) * 1e3;
+    EagerP99Ms = ES.quantileSecondsIfAny(0.99).value_or(0) * 1e3;
+    DemandP50Ms = DS.quantileSecondsIfAny(0.50).value_or(0) * 1e3;
+    DemandP99Ms = DS.quantileSecondsIfAny(0.99).value_or(0) * 1e3;
+    ColdImprovement = DemandP99Ms > 0 ? EagerP99Ms / DemandP99Ms : 0.0;
+  }
+
   std::printf("Query throughput on autofs (scale %.2f): %zu pointers, "
               "%zu pairs, %zu clusters (cascade %.3fs)\n",
               Scale, Ptrs.size(), NumPairs, Result.Clusters.size(),
@@ -244,6 +365,20 @@ int main(int Argc, char **Argv) {
                 StoreStatsIdentical ? "byte-identical" : "DIVERGED",
                 StoreVerdictsIdentical ? "byte-identical" : "DIVERGED");
   }
+  if (ColdP99) {
+    std::printf("  cold-cluster tail latency (%zu first-touch queries):\n",
+                ColdQueries);
+    std::printf("    eager  p50 %9.3fms  p99 %9.3fms\n", EagerP50Ms,
+                EagerP99Ms);
+    std::printf("    demand p50 %9.3fms  p99 %9.3fms  (%.1fx p99, "
+                "%llu partial answers, %llu promotions)\n",
+                DemandP50Ms, DemandP99Ms, ColdImprovement,
+                ColdPartialAnswers, ColdPromotions);
+    std::printf("    verdicts: %s during partial phase, %s after "
+                "promotion\n",
+                ColdMismatches == 0 ? "identical" : "DIVERGED",
+                PostMismatches == 0 ? "identical" : "DIVERGED");
+  }
 
   if (StatsJson)
     std::printf(
@@ -262,7 +397,13 @@ int main(int Argc, char **Argv) {
         "\"store\": {\"enabled\": %s, \"cold_cascade_seconds\": %.6f, "
         "\"warm_cascade_seconds\": %.6f, \"store_puts\": %llu, "
         "\"store_hits\": %llu, \"warm_store_hit_rate\": %.4f, "
-        "\"warm_stats_identical\": %s, \"warm_verdicts_identical\": %s}}\n",
+        "\"warm_stats_identical\": %s, \"warm_verdicts_identical\": %s}, "
+        "\"cold_p99\": {\"enabled\": %s, \"queries\": %zu, "
+        "\"eager_p50_ms\": %.4f, \"eager_p99_ms\": %.4f, "
+        "\"demand_p50_ms\": %.4f, \"demand_p99_ms\": %.4f, "
+        "\"p99_improvement\": %.2f, \"partial_answers\": %llu, "
+        "\"promotions\": %llu, \"mismatches\": %llu, "
+        "\"post_promotion_mismatches\": %llu}}\n",
         Scale, Ptrs.size(), NumPairs, Result.Clusters.size(),
         CascadeSeconds, NaiveSeconds, ColdSeconds, WarmSeconds, MtSeconds,
         Threads, Speedup, Qps(ColdSeconds), Qps(WarmSeconds),
@@ -277,11 +418,19 @@ int main(int Argc, char **Argv) {
         (unsigned long long)St.Evictions, StoreRun ? "true" : "false",
         StoreColdSeconds, StoreWarmSeconds, StorePuts, StoreHits,
         StoreHitRate, StoreStatsIdentical ? "true" : "false",
-        StoreVerdictsIdentical ? "true" : "false");
+        StoreVerdictsIdentical ? "true" : "false",
+        ColdP99 ? "true" : "false", ColdQueries, EagerP50Ms, EagerP99Ms,
+        DemandP50Ms, DemandP99Ms, ColdImprovement, ColdPartialAnswers,
+        ColdPromotions, ColdMismatches, PostMismatches);
 
   // Self-gating: a warm restart that changes any answer or any
   // replayable stat is a correctness failure, not a perf regression.
   if (StoreRun && (!StoreStatsIdentical || !StoreVerdictsIdentical))
+    return 1;
+  // Self-gating for --cold-p99: any verdict divergence is a soundness
+  // failure; a p99 improvement under 2x means the demand path stopped
+  // earning its keep.
+  if (ColdP99 && (ColdMismatches || PostMismatches || ColdImprovement < 2.0))
     return 1;
   return 0;
 }

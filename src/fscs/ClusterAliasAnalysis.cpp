@@ -31,14 +31,27 @@ ClusterAliasAnalysis::ClusterAliasAnalysis(
     const Program &P, const CallGraph &CG,
     const analysis::SteensgaardAnalysis &Steens, const core::Cluster &C,
     SummaryEngine::Options Opts)
-    : Prog(P), CG(CG), Steens(Steens), Clu(C),
+    : Prog(P), CG(CG), Steens(Steens), Clu(C), EngineOpts(Opts),
       Engine(std::make_unique<SummaryEngine>(P, CG, Steens, C, Opts)) {}
 
 void ClusterAliasAnalysis::prepare() {
   if (Prepared)
     return;
   Prepared = true;
+  // After preparePartial() this re-runs the same deterministic order:
+  // the warmed prefix is memoized and fast-forwards.
   DoveStats = dovetail(*Engine, Prog, Steens, Clu);
+}
+
+bool ClusterAliasAnalysis::preparePartial(size_t MaxFsciQueries) {
+  if (Prepared)
+    return true;
+  if (!Partial)
+    Partial = std::make_unique<PartialState>();
+  DoveStats = dovetail(*Engine, Prog, Steens, Clu, MaxFsciQueries);
+  if (DoveStats.Complete)
+    Prepared = true;
+  return Prepared;
 }
 
 void ClusterAliasAnalysis::adoptState(SummaryEngine::State S,
@@ -46,7 +59,10 @@ void ClusterAliasAnalysis::adoptState(SummaryEngine::State S,
   Engine->importState(std::move(S));
   DoveStats = D;
   // The adopted state already contains the dovetail warmup's FSCI memo;
-  // running prepare() again would only re-issue memoized queries.
+  // running prepare() again would only re-issue memoized queries. Any
+  // walker engine seeded from the pre-adoption memo is stale by
+  // construction -- drop it so the next definite query re-seeds.
+  Partial.reset();
   Prepared = true;
 }
 
@@ -56,18 +72,18 @@ void ClusterAliasAnalysis::ensurePrepared() { prepare(); }
 // FSCI queries
 //===--------------------------------------------------------------------===//
 
-ClusterAliasAnalysis::PointsToResult
-ClusterAliasAnalysis::pointsTo(VarId V, LocId Loc) {
-  ensurePrepared();
-  PointsToResult Out;
+/// The FSCI caller-walk shared by the full and definite-only queries:
+/// resolve origins at \p Loc, then splice unresolved ones through every
+/// caller chain (Algorithm 3's any-context union).
+SparseBitVector ClusterAliasAnalysis::walkOrigins(SummaryEngine &E, VarId V,
+                                                  LocId Loc) {
   SparseBitVector Objects;
-
   std::unordered_set<uint64_t> Visited;
   std::deque<std::pair<FuncId, Ref>> Queue;
 
   auto Handle = [&](FuncId Owner, std::vector<SummaryTuple> Tuples) {
     for (SummaryTuple &T : Tuples) {
-      if (!Engine->satisfiable(T.Cond))
+      if (!E.satisfiable(T.Cond))
         continue;
       if (T.isResolved()) {
         Objects.set(T.Origin.Var);
@@ -84,18 +100,61 @@ ClusterAliasAnalysis::pointsTo(VarId V, LocId Loc) {
     }
   };
 
-  Handle(Prog.loc(Loc).Owner, Engine->originsBefore(Loc, Ref::direct(V)));
+  Handle(Prog.loc(Loc).Owner, E.originsBefore(Loc, Ref::direct(V)));
   while (!Queue.empty()) {
     auto [F, W] = Queue.front();
     Queue.pop_front();
     for (FuncId Caller : CG.callers(F))
       for (LocId C : CG.callSites(Caller, F))
-        Handle(Caller, Engine->originsBefore(C, W));
+        Handle(Caller, E.originsBefore(C, W));
   }
+  return Objects;
+}
 
-  Out.Objects = Objects.toVector();
+ClusterAliasAnalysis::PointsToResult
+ClusterAliasAnalysis::pointsTo(VarId V, LocId Loc) {
+  ensurePrepared();
+  PointsToResult Out;
+  Out.Objects = walkOrigins(*Engine, V, Loc).toVector();
   Out.Complete =
       !Engine->budgetExhausted() && !Engine->hasApproximation();
+  return Out;
+}
+
+SummaryEngine &ClusterAliasAnalysis::definiteEngine() {
+  if (!Partial)
+    Partial = std::make_unique<PartialState>();
+  size_t MemoSize = Engine->fsciMemoSize();
+  if (!Partial->DefEngine) {
+    SummaryEngine::Options DefOpts = EngineOpts;
+    DefOpts.DefiniteOnly = true;
+    Partial->DefEngine = std::make_unique<SummaryEngine>(
+        Prog, CG, Steens, Clu, DefOpts);
+  } else if (Partial->InjectedMemoSize == MemoSize) {
+    return *Partial->DefEngine;
+  } else {
+    // The dovetail advanced since the last injection: rebuild the
+    // walker so it sees the longer exact prefix. (Its summary keys are
+    // cheap to recompute -- definite-only chains never branch.)
+    SummaryEngine::Options DefOpts = EngineOpts;
+    DefOpts.DefiniteOnly = true;
+    Partial->DefEngine = std::make_unique<SummaryEngine>(
+        Prog, CG, Steens, Clu, DefOpts);
+  }
+  SummaryEngine::State Seed;
+  Seed.FsciMemo = Engine->fsciMemoSnapshot();
+  Partial->DefEngine->importState(std::move(Seed));
+  Partial->InjectedMemoSize = MemoSize;
+  return *Partial->DefEngine;
+}
+
+ClusterAliasAnalysis::PointsToResult
+ClusterAliasAnalysis::pointsToDefinite(VarId V, LocId Loc) {
+  PointsToResult Out;
+  Out.Objects = walkOrigins(definiteEngine(), V, Loc).toVector();
+  // Definite-only results under-approximate: a "no" verdict needs the
+  // fully prepared analysis, so the result is never complete.
+  Out.Complete = false;
   return Out;
 }
 

@@ -388,6 +388,14 @@ void SummaryEngine::transfer(LocId M, Ref Q, const Condition &Cond,
         Out.push_back(Outcome{OutcomeKind::Continue, Q, Cond});
         return;
       }
+      if (Opts.DefiniteOnly) {
+        // Definite-only: a certain strong update continues without a
+        // constraint; an ambiguous store kills the chain.
+        if (Definite)
+          Out.push_back(
+              Outcome{OutcomeKind::Continue, Ref::direct(Loc.Rhs), Cond});
+        return;
+      }
       Out.push_back(Outcome{
           OutcomeKind::Continue, Ref::direct(Loc.Rhs),
           Cond.conjoin(atom(M, ConstraintKind::PointsTo, U, V),
@@ -411,6 +419,8 @@ void SummaryEngine::transfer(LocId M, Ref Q, const Condition &Cond,
       Out.push_back(Outcome{OutcomeKind::Continue, Q, Cond});
       return;
     }
+    if (Opts.DefiniteOnly)
+      return; // *u may or may not be the tracked object: chain dies.
     Out.push_back(Outcome{
         OutcomeKind::Continue, Ref::direct(Loc.Rhs),
         Cond.conjoin(atom(M, ConstraintKind::SameObject, U, S),
@@ -462,6 +472,16 @@ void SummaryEngine::transfer(LocId M, Ref Q, const Condition &Cond,
       // the Steensgaard pointee partition with constraints).
       VarId TVar = Loc.Rhs;
       const SparseBitVector *Pts = fsciIfKnown(TVar, M);
+      if (Opts.DefiniteOnly) {
+        // Only a known singleton pointee resolves the inner deref
+        // without a constraint; anything else kills the chain.
+        if (Pts && Pts->count() == 1)
+          Pts->forEach([&](uint32_t O) {
+            Out.push_back(
+                Outcome{OutcomeKind::Continue, Ref::deref(O), Cond});
+          });
+        return;
+      }
       std::vector<VarId> Candidates;
       if (Pts) {
         Pts->forEach([&](uint32_t O) { Candidates.push_back(O); });
@@ -493,6 +513,11 @@ void SummaryEngine::transfer(LocId M, Ref Q, const Condition &Cond,
   bool Definite = false;
   if (!mayPointTo(S, R, M, Definite)) {
     Out.push_back(Outcome{OutcomeKind::Continue, Q, Cond});
+    return;
+  }
+  if (Opts.DefiniteOnly) {
+    if (Definite)
+      Out.push_back(writtenValue(Loc, Cond));
     return;
   }
   Outcome Written = writtenValue(Loc, Cond);

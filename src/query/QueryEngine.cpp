@@ -5,6 +5,9 @@
 #include "support/ThreadPool.h"
 
 #include <cassert>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 using namespace bsaa;
@@ -35,7 +38,7 @@ PointsToAnswer QueryEngine::pointsToAt(ir::VarId V, ir::LocId Loc) const {
 
 std::vector<uint8_t>
 QueryEngine::evalMayAlias(const std::vector<MayAliasQuery> &Queries,
-                          unsigned Threads) const {
+                          unsigned Threads, ThreadPool *Pool) const {
   std::shared_ptr<const QuerySnapshot> S = snapshot();
   assert(S && "query before the first publish()");
   std::vector<uint8_t> Results(Queries.size(), 0);
@@ -51,26 +54,68 @@ QueryEngine::evalMayAlias(const std::vector<MayAliasQuery> &Queries,
     }
   };
 
-  if (Threads <= 1 || Queries.size() <= 1) {
+  if ((Threads <= 1 && !Pool) || Queries.size() <= 1) {
     EvalRange(*S, 0, Queries.size());
     return Results;
   }
 
+  std::unique_ptr<ThreadPool> Owned;
+  if (!Pool) {
+    Owned = std::make_unique<ThreadPool>(Threads);
+    Pool = Owned.get();
+  }
+  unsigned EffThreads = Threads > 0 ? Threads : Pool->numThreads();
+
   // Oversplit a little so an unlucky chunk full of expensive
   // materializations doesn't serialize the batch.
-  size_t NumChunks = std::min<size_t>(Queries.size(),
-                                      static_cast<size_t>(Threads) * 4);
+  size_t NumChunks = std::min<size_t>(
+      Queries.size(), std::max<size_t>(1, size_t(EffThreads) * 4));
   size_t ChunkSize = (Queries.size() + NumChunks - 1) / NumChunks;
-  ThreadPool Pool(Threads);
+
+  // Per-batch completion latch. The pool may be shared with other
+  // batches and with background promotions, so waiting must be scoped
+  // to exactly this batch's chunks: ThreadPool::waitAll() would block
+  // on (and steal errors from) unrelated work.
+  std::mutex BatchMutex;
+  std::condition_variable BatchCv;
+  size_t Remaining = 0;
+  std::exception_ptr FirstError;
+
   for (size_t Begin = 0; Begin < Queries.size(); Begin += ChunkSize) {
     size_t End = std::min(Begin + ChunkSize, Queries.size());
-    if (!Pool.submit([&EvalRange, &S, Begin, End] {
-          EvalRange(*S, Begin, End);
-        }))
-      throw std::runtime_error(
-          "ThreadPool rejected a query batch chunk (pool shutting down)");
+    {
+      std::lock_guard<std::mutex> Lock(BatchMutex);
+      ++Remaining;
+    }
+    bool Submitted = Pool->submit([&, Begin, End] {
+      try {
+        EvalRange(*S, Begin, End);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(BatchMutex);
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
+      std::lock_guard<std::mutex> Lock(BatchMutex);
+      --Remaining;
+      BatchCv.notify_all();
+    });
+    if (!Submitted) {
+      // Shared pool shutting down underneath us: evaluate the chunk
+      // inline rather than failing the batch.
+      {
+        std::lock_guard<std::mutex> Lock(BatchMutex);
+        --Remaining;
+      }
+      EvalRange(*S, Begin, End);
+    }
   }
-  Pool.waitAll();
+
+  {
+    std::unique_lock<std::mutex> Lock(BatchMutex);
+    BatchCv.wait(Lock, [&] { return Remaining == 0; });
+    if (FirstError)
+      std::rethrow_exception(FirstError);
+  }
   return Results;
 }
 

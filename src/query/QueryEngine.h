@@ -86,11 +86,20 @@ public:
 
   /// Evaluates \p Queries against one consistent snapshot and returns
   /// the verdicts index-aligned (1 = may alias). \p Threads > 1 splits
-  /// the batch across a ThreadPool; 0/1 evaluates inline. Every worker
-  /// chunk writes a disjoint result range, so no synchronization is
-  /// needed beyond the pool's own join.
+  /// the batch across worker threads; 0/1 evaluates inline. Every
+  /// worker chunk writes a disjoint result range, so no synchronization
+  /// is needed beyond the batch's own completion latch.
+  ///
+  /// When \p Pool is non-null its workers run the chunks (the batch
+  /// still completes before returning, tracked by a per-batch latch, so
+  /// a shared long-lived pool is safe: waitAll() -- global quiescence
+  /// plus cross-batch error stealing -- is never used). A null \p Pool
+  /// spins up a transient pool of \p Threads workers, which is how
+  /// every call used to behave and is only sensible for one-off bulk
+  /// batches: per-call thread creation dominates small batches.
   std::vector<uint8_t> evalMayAlias(const std::vector<MayAliasQuery> &Queries,
-                                    unsigned Threads = 0) const;
+                                    unsigned Threads = 0,
+                                    ThreadPool *Pool = nullptr) const;
 
 private:
   mutable std::mutex CurrentMutex;
@@ -116,6 +125,13 @@ public:
   QueryEngine &engine() { return Engine; }
   const QueryEngine &engine() const { return Engine; }
   core::IncrementalDriver &driver() { return Inc; }
+
+  /// Batch evaluation that reuses the service's promotion pool (when
+  /// one was configured) instead of constructing a pool per batch.
+  std::vector<uint8_t> evalMayAlias(const std::vector<MayAliasQuery> &Queries,
+                                    unsigned Threads = 0) const {
+    return Engine.evalMayAlias(Queries, Threads, QOpts.PromotionPool.get());
+  }
 
   /// Runs after every publish, on the update() caller's thread, with
   /// the batch's report and the snapshot just installed. Lets derived

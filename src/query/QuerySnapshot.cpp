@@ -3,6 +3,7 @@
 #include "query/QuerySnapshot.h"
 
 #include "core/RelevantStatements.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -16,6 +17,8 @@ const char *query::answerSourceName(AnswerSource S) {
     return "index";
   case AnswerSource::Fscs:
     return "fscs";
+  case AnswerSource::FscsPartial:
+    return "fscs-partial";
   case AnswerSource::Andersen:
     return "andersen";
   case AnswerSource::Steensgaard:
@@ -166,17 +169,118 @@ QuerySnapshot::materialize(uint32_t ClusterIdx) const {
         Adopted = true;
       }
     }
-    if (!Adopted)
-      AA->prepare();
+    if (Adopted || !Opts.DemandMode) {
+      // Cache replay is already the cheap path, and eager mode pays the
+      // full preparation up front by definition.
+      if (!Adopted)
+        AA->prepare();
+      E->Phase.store(EntryPhase::Full, std::memory_order_relaxed);
+    }
+    // Demand mode without a cached run: leave the entry Cold. The query
+    // path advances it Cold -> Partial -> Full on demand.
     E->AA = std::move(AA);
   }
   return E;
 }
 
+void QuerySnapshot::advancePartialLocked(Entry &E) const {
+  if (E.Phase.load(std::memory_order_relaxed) != EntryPhase::Cold)
+    return;
+  E.AA->preparePartial(Opts.DemandDovetailBudget);
+  // Even a completed bounded warmup stays Partial: Full means "answer
+  // through the fully prepared engine", and the expensive part of an
+  // eager answer is the conditional query walk, not the warmup --
+  // definite-only serving stays worthwhile until a query (or the
+  // promotion job) actually pays for the full walks.
+  E.Phase.store(EntryPhase::Partial, std::memory_order_relaxed);
+}
+
+void QuerySnapshot::completeLocked(Entry &E) const {
+  E.AA->prepare();
+  E.Phase.store(EntryPhase::Full, std::memory_order_relaxed);
+}
+
+void QuerySnapshot::notePendingLocked(Entry &E, ir::VarId V,
+                                      ir::LocId Loc) const {
+  for (const std::pair<ir::VarId, ir::LocId> &W : E.PendingWalks)
+    if (W.first == V && W.second == Loc)
+      return;
+  E.PendingWalks.emplace_back(V, Loc);
+}
+
+void QuerySnapshot::schedulePromotionLocked(
+    const std::shared_ptr<Entry> &E) const {
+  if (E->PromotionQueued ||
+      E->Phase.load(std::memory_order_relaxed) == EntryPhase::Full)
+    return;
+  ThreadPool *Pool = Opts.PromotionPool.get();
+  if (!Pool)
+    return; // No pool: the entry keeps serving partially.
+  E->PromotionQueued = true;
+  {
+    std::lock_guard<std::mutex> Lock(PromoMutex);
+    ++PendingPromotions;
+  }
+  NumPromotionsScheduled.fetch_add(1, std::memory_order_relaxed);
+  // The job holds a strong reference to the snapshot: promoteEntry
+  // reads Cover/Prog, which must outlive the job. The pool is external
+  // by contract (see QueryOptions::PromotionPool), so the last release
+  // never joins the pool from one of its own workers.
+  std::shared_ptr<const QuerySnapshot> Self = shared_from_this();
+  if (!Pool->submit([Self, E] { Self->promoteEntry(*E); })) {
+    // Pool already shutting down; roll the accounting back.
+    E->PromotionQueued = false;
+    NumPromotionsScheduled.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(PromoMutex);
+    --PendingPromotions;
+    PromoCv.notify_all();
+  }
+}
+
+void QuerySnapshot::promoteEntry(Entry &E) const {
+  try {
+    std::lock_guard<std::mutex> Lock(E.M);
+    if (E.AA &&
+        E.Phase.load(std::memory_order_relaxed) != EntryPhase::Full) {
+      // Finishing the dovetail fast-forwards through the warmed prefix,
+      // then the pending walks pre-pay the full conditional traversals
+      // the partial answers deferred. Queries never touched this
+      // engine while the entry was Partial (the walker engine is
+      // separate), so its state -- and every later answer -- is
+      // byte-identical to a never-partial materialization.
+      E.AA->prepare();
+      std::vector<std::pair<ir::VarId, ir::LocId>> Walks;
+      Walks.swap(E.PendingWalks);
+      for (std::pair<ir::VarId, ir::LocId> W : Walks)
+        (void)E.AA->pointsTo(W.first, W.second);
+      E.Phase.store(EntryPhase::Full, std::memory_order_relaxed);
+    }
+    E.PromotionQueued = false;
+  } catch (...) {
+    // A failed promotion leaves the entry Partial; it keeps serving
+    // definite answers and the next gap query promotes synchronously.
+    std::lock_guard<std::mutex> Lock(E.M);
+    E.PromotionQueued = false;
+  }
+  NumPromotionsCompleted.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(PromoMutex);
+  --PendingPromotions;
+  PromoCv.notify_all();
+}
+
+void QuerySnapshot::waitPromotionsIdle() const {
+  std::unique_lock<std::mutex> Lock(PromoMutex);
+  PromoCv.wait(Lock, [this] { return PendingPromotions == 0; });
+}
+
 size_t QuerySnapshot::trimResident(size_t MaxResident) const {
   std::lock_guard<std::mutex> Lock(LruMutex);
   size_t Evicted = 0;
-  while (Resident.size() > MaxResident && !LruOrder.empty()) {
+  // Same floor as materialize(): the most-recent entry always stays
+  // resident, so a global-budget trim can never race a concurrent
+  // materialization into repeatedly evicting the cluster it serves.
+  size_t Floor = std::max<size_t>(1, MaxResident);
+  while (Resident.size() > Floor && !LruOrder.empty()) {
     uint32_t Victim = LruOrder.back();
     LruOrder.pop_back();
     LruPos.erase(Victim);
@@ -208,6 +312,9 @@ void QuerySnapshot::countAnswer(AnswerSource S) const {
     break;
   case AnswerSource::Fscs:
     NumFscsAnswers.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case AnswerSource::FscsPartial:
+    NumFscsPartialAnswers.fetch_add(1, std::memory_order_relaxed);
     break;
   case AnswerSource::Andersen:
     NumAndersenAnswers.fetch_add(1, std::memory_order_relaxed);
@@ -290,6 +397,28 @@ AliasAnswer QuerySnapshot::mayAliasAt(ir::VarId A, ir::VarId B,
       }
       std::shared_ptr<Entry> E = materialize(CI);
       std::lock_guard<std::mutex> Lock(E->M);
+      if (Opts.DemandMode &&
+          E->Phase.load(std::memory_order_relaxed) != EntryPhase::Full) {
+        // Cold-cluster fast path: a bounded warmup plus a definite-only
+        // walk. Definite origin sets are subsets of the full ones, so an
+        // intersection here is an intersection on the fully prepared
+        // analysis too -- the eager path would return the same "yes"
+        // (its intersect check precedes the Complete check). No
+        // intersection proves nothing; fall through to the full answer.
+        advancePartialLocked(*E);
+        fscs::ClusterAliasAnalysis::PointsToResult DA =
+            E->AA->pointsToDefinite(A, Loc);
+        fscs::ClusterAliasAnalysis::PointsToResult DB =
+            E->AA->pointsToDefinite(B, Loc);
+        if (sortedIntersects(DA.Objects, DB.Objects)) {
+          notePendingLocked(*E, A, Loc);
+          notePendingLocked(*E, B, Loc);
+          schedulePromotionLocked(E);
+          countAnswer(AnswerSource::FscsPartial);
+          return {true, AnswerSource::FscsPartial};
+        }
+        completeLocked(*E);
+      }
       fscs::ClusterAliasAnalysis::PointsToResult PA = E->AA->pointsTo(A, Loc);
       fscs::ClusterAliasAnalysis::PointsToResult PB = E->AA->pointsTo(B, Loc);
       if (sortedIntersects(PA.Objects, PB.Objects)) {
@@ -315,7 +444,15 @@ AliasAnswer QuerySnapshot::mayAliasAt(ir::VarId A, ir::VarId B,
 
 PointsToAnswer QuerySnapshot::pointsToAt(ir::VarId V, ir::LocId Loc) const {
   PointsToAnswer Ans;
-  if (V >= Prog->numVars() || !Prog->var(V).isPointer()) {
+  if (V >= Prog->numVars()) {
+    // Unknown id: "points to nothing" is a claim about a variable we
+    // know nothing about, so it must not be reported as complete.
+    Ans.Complete = false;
+    countAnswer(AnswerSource::Index);
+    return Ans;
+  }
+  if (!Prog->var(V).isPointer()) {
+    // A known non-pointer definitively points to nothing.
     countAnswer(AnswerSource::Index);
     return Ans;
   }
@@ -323,6 +460,7 @@ PointsToAnswer QuerySnapshot::pointsToAt(ir::VarId V, ir::LocId Loc) const {
   const std::vector<uint32_t> &CV = clustersOf(V);
   bool AnyFallback = CV.empty() || Loc >= Prog->numLocs();
   bool Truncated = false;
+  bool AnyPartial = false;
   if (!AnyFallback) {
     for (uint32_t CI : CV) {
       if (NeedsFallback[CI]) {
@@ -331,6 +469,21 @@ PointsToAnswer QuerySnapshot::pointsToAt(ir::VarId V, ir::LocId Loc) const {
       }
       std::shared_ptr<Entry> E = materialize(CI);
       std::lock_guard<std::mutex> Lock(E->M);
+      if (Opts.DemandMode &&
+          E->Phase.load(std::memory_order_relaxed) != EntryPhase::Full) {
+        // Serve the definite under-approximation now; the background
+        // promotion makes the next query over this cluster exact. The
+        // answer is marked incomplete, so clients widen as they would
+        // for any truncated set.
+        advancePartialLocked(*E);
+        fscs::ClusterAliasAnalysis::PointsToResult D =
+            E->AA->pointsToDefinite(V, Loc);
+        mergeSortedUnique(Ans.Objects, std::move(D.Objects));
+        notePendingLocked(*E, V, Loc);
+        schedulePromotionLocked(E);
+        AnyPartial = true;
+        continue;
+      }
       fscs::ClusterAliasAnalysis::PointsToResult R = E->AA->pointsTo(V, Loc);
       // Objects a truncated run *found* are real -- keep them and widen
       // with the fallback stage below.
@@ -349,6 +502,9 @@ PointsToAnswer QuerySnapshot::pointsToAt(ir::VarId V, ir::LocId Loc) const {
       Ans.Source = AnswerSource::Steensgaard;
     }
     Ans.Complete = false;
+  } else if (AnyPartial) {
+    Ans.Source = AnswerSource::FscsPartial;
+    Ans.Complete = false;
   } else {
     Ans.Source = AnswerSource::Fscs;
     Ans.Complete = true;
@@ -361,15 +517,26 @@ SnapshotStats QuerySnapshot::stats() const {
   SnapshotStats S;
   S.IndexAnswers = NumIndexAnswers.load(std::memory_order_relaxed);
   S.FscsAnswers = NumFscsAnswers.load(std::memory_order_relaxed);
+  S.FscsPartialAnswers =
+      NumFscsPartialAnswers.load(std::memory_order_relaxed);
   S.AndersenAnswers = NumAndersenAnswers.load(std::memory_order_relaxed);
   S.SteensgaardAnswers =
       NumSteensgaardAnswers.load(std::memory_order_relaxed);
   S.Materializations = NumMaterializations.load(std::memory_order_relaxed);
   S.CacheAdoptions = NumCacheAdoptions.load(std::memory_order_relaxed);
   S.Evictions = NumEvictions.load(std::memory_order_relaxed);
+  S.PromotionsScheduled =
+      NumPromotionsScheduled.load(std::memory_order_relaxed);
+  S.PromotionsCompleted =
+      NumPromotionsCompleted.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> Lock(LruMutex);
     S.Resident = Resident.size();
+    for (const auto &[CI, E] : Resident) {
+      (void)CI;
+      if (E->Phase.load(std::memory_order_relaxed) == EntryPhase::Partial)
+        ++S.PartialResident;
+    }
   }
   return S;
 }

@@ -46,19 +46,31 @@
 #include "ir/Ir.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace bsaa {
+
+class ThreadPool;
+
 namespace query {
 
 /// Which rung of the precision chain produced an answer.
 enum class AnswerSource : uint8_t {
   Index,       ///< Cover index alone (no shared cluster, trivial pair).
   Fscs,        ///< Per-cluster FSCS result.
+  FscsPartial, ///< Definite-only partial FSCS evaluation (demand mode):
+               ///< a provable under-approximation served while the
+               ///< cluster's full materialization completes in the
+               ///< background. Only ever attached to answers the full
+               ///< analysis is guaranteed to agree with (definite-"yes"
+               ///< may-alias witnesses; points-to subsets flagged
+               ///< Complete=false).
   Andersen,    ///< Whole-program Andersen fallback (flagged cluster).
   Steensgaard, ///< Last-resort unification fallback.
 };
@@ -85,6 +97,31 @@ struct QueryOptions {
   /// from the driver by AliasService so fallback answers come from the
   /// same solver configuration the cascade's refinement stage used.
   analysis::AndersenAnalysis::Options AndersenOpts;
+
+  /// Demand-driven cold-cluster serving. When a query touches a cluster
+  /// that is not resident (and not in the summary cache), the snapshot
+  /// does not pay the full materialization up front: it warms a bounded
+  /// dovetail prefix, answers definite-"yes" may-alias queries from a
+  /// DefiniteOnly partial evaluation (AnswerSource::FscsPartial), and
+  /// schedules the full materialization on PromotionPool. Queries with
+  /// no definite witness complete the materialization synchronously, so
+  /// every verdict equals the eager mode's. Off by default: eager
+  /// materialize-on-first-touch.
+  bool DemandMode = false;
+
+  /// Total FSCI-query cap for a cold cluster's bounded dovetail warmup
+  /// in demand mode (0 = unlimited, which defeats the latency point;
+  /// the default comfortably completes typical clusters while bounding
+  /// pathological ones).
+  size_t DemandDovetailBudget = 4096;
+
+  /// Pool background promotions run on (demand mode). The snapshot
+  /// never owns a pool: promotion jobs capture a strong reference to
+  /// the snapshot, and an owned pool would make the last release join
+  /// the pool from one of its own workers. Null = promotions are never
+  /// scheduled; partial entries still serve definite answers and
+  /// promote synchronously when a query needs the full analysis.
+  std::shared_ptr<ThreadPool> PromotionPool;
 };
 
 /// A may-alias verdict plus its provenance.
@@ -102,16 +139,23 @@ struct PointsToAnswer {
   bool Complete = true;
 };
 
-/// Serving-side accounting (monotone except Resident).
+/// Serving-side accounting (monotone except Resident/PartialResident).
 struct SnapshotStats {
   uint64_t IndexAnswers = 0;   ///< Answered from the index alone.
   uint64_t FscsAnswers = 0;    ///< Answered at full FSCS precision.
+  uint64_t FscsPartialAnswers = 0; ///< Definite-only partial answers.
   uint64_t AndersenAnswers = 0;
   uint64_t SteensgaardAnswers = 0;
   uint64_t Materializations = 0; ///< Cluster analyses constructed.
   uint64_t CacheAdoptions = 0;   ///< ...of which replayed a cached run.
   uint64_t Evictions = 0;        ///< LRU evictions.
-  uint64_t Resident = 0;         ///< Currently materialized clusters.
+  uint64_t Resident = 0;         ///< Currently materialized clusters
+                                 ///< (partial entries included).
+  uint64_t PartialResident = 0;  ///< ...of which are partial (demand).
+  uint64_t PromotionsScheduled = 0; ///< Background promotions queued.
+  uint64_t PromotionsCompleted = 0; ///< ...of which finished (includes
+                                    ///< no-op completions on entries a
+                                    ///< sync query promoted first).
 };
 
 /// The canonical location a location-free mayAlias(p, q) is evaluated
@@ -121,7 +165,21 @@ struct SnapshotStats {
 ir::LocId canonicalAliasLoc(const ir::Program &P, ir::VarId A, ir::VarId B);
 
 /// Immutable query-serving view of one analyzed program version.
-class QuerySnapshot {
+///
+/// "Immutable" refers to the analysis inputs and answers; the snapshot
+/// caches materialized per-cluster state internally. In demand mode a
+/// cluster entry moves through a monotone phase machine
+///
+///   Cold -> Partial -> Full
+///
+/// Cold: analysis constructed, dovetail not run. Partial: a bounded
+/// dovetail prefix is warmed and a DefiniteOnly walker serves definite
+/// "yes" witnesses; every other verdict routes through synchronous full
+/// materialization (exactly the eager path) or the fallback ladder, so
+/// an incomplete partial "no" is never served. Full: all queries run
+/// the fully prepared engine. Background promotion (finish the dovetail
+/// plus the pending full walks) moves Partial entries to Full in place.
+class QuerySnapshot : public std::enable_shared_from_this<QuerySnapshot> {
 public:
   /// Builds a snapshot over \p Cover. \p Runs, when non-null, must be
   /// aligned index-for-index with \p Cover (BootstrapResult::Clusters
@@ -177,6 +235,11 @@ public:
   const analysis::SteensgaardAnalysis &steensgaard() const { return Steens; }
   SnapshotStats stats() const;
 
+  /// Blocks until no scheduled background promotion is outstanding.
+  /// Benchmarks and the demand-vs-eager oracle use this to compare
+  /// answers at promotion quiescence; serving paths never need it.
+  void waitPromotionsIdle() const;
+
   /// Evicts least-recently-used materialized cluster analyses until at
   /// most \p MaxResident remain; returns how many were evicted. The
   /// cross-tenant memory accountant (serving/TenantRegistry.h) calls
@@ -195,16 +258,44 @@ private:
                 QueryOptions OptsIn,
                 std::shared_ptr<fscs::SummaryCache> CacheIn);
 
+  /// Materialization phase of one entry (demand mode; eager entries go
+  /// straight to Full). Monotone: never moves backwards.
+  enum class EntryPhase : uint8_t { Cold = 0, Partial = 1, Full = 2 };
+
   /// One materialized per-cluster analysis. ClusterAliasAnalysis
   /// queries mutate engine memo state, so each entry carries its own
   /// mutex; handing entries out as shared_ptr keeps an evicted entry
-  /// alive for the reader currently holding it.
+  /// alive for the reader currently holding it (and for a background
+  /// promotion job running against it).
   struct Entry {
     std::mutex M;
     std::unique_ptr<fscs::ClusterAliasAnalysis> AA;
+    /// Written under M; atomic so the resident gauge can read it
+    /// without taking every entry lock.
+    std::atomic<EntryPhase> Phase{EntryPhase::Cold};
+    /// True while a promotion job is queued or running. Under M.
+    bool PromotionQueued = false;
+    /// (var, loc) walks served partially; the promotion job re-runs
+    /// them on the full engine so post-promotion answers are warm.
+    /// Under M; bounded (promotion walks every pair anyway).
+    std::vector<std::pair<ir::VarId, ir::LocId>> PendingWalks;
   };
 
   std::shared_ptr<Entry> materialize(uint32_t ClusterIdx) const;
+  /// Cold -> Partial: runs the bounded dovetail warmup. Caller holds
+  /// E.M.
+  void advancePartialLocked(Entry &E) const;
+  /// -> Full: finishes the dovetail synchronously. Caller holds E.M.
+  void completeLocked(Entry &E) const;
+  /// Records a partially-served walk for promotion replay. Caller
+  /// holds E.M.
+  void notePendingLocked(Entry &E, ir::VarId V, ir::LocId Loc) const;
+  /// Queues a background promotion for \p E if a pool is configured
+  /// and none is queued. Caller holds E->M.
+  void schedulePromotionLocked(const std::shared_ptr<Entry> &E) const;
+  /// The promotion job body: finish the dovetail, replay pending
+  /// walks, flip the entry to Full.
+  void promoteEntry(Entry &E) const;
   const analysis::AndersenAnalysis &andersen() const;
   AliasAnswer fallbackMayAlias(ir::VarId A, ir::VarId B) const;
   void countAnswer(AnswerSource S) const;
@@ -235,11 +326,20 @@ private:
 
   mutable std::atomic<uint64_t> NumIndexAnswers{0};
   mutable std::atomic<uint64_t> NumFscsAnswers{0};
+  mutable std::atomic<uint64_t> NumFscsPartialAnswers{0};
   mutable std::atomic<uint64_t> NumAndersenAnswers{0};
   mutable std::atomic<uint64_t> NumSteensgaardAnswers{0};
   mutable std::atomic<uint64_t> NumMaterializations{0};
   mutable std::atomic<uint64_t> NumCacheAdoptions{0};
   mutable std::atomic<uint64_t> NumEvictions{0};
+  mutable std::atomic<uint64_t> NumPromotionsScheduled{0};
+  mutable std::atomic<uint64_t> NumPromotionsCompleted{0};
+
+  /// Outstanding promotion jobs (scheduled, not yet finished), with a
+  /// cv for waitPromotionsIdle().
+  mutable std::mutex PromoMutex;
+  mutable std::condition_variable PromoCv;
+  mutable uint64_t PendingPromotions = 0; ///< Guarded by PromoMutex.
 };
 
 } // namespace query

@@ -59,7 +59,11 @@ const char *bsaa::serving::submitStatusName(SubmitStatus S) {
 
 TenantRegistry::TenantRegistry(ServingOptions OptsIn)
     : Opts(std::move(OptsIn)),
-      Pool(std::make_unique<ThreadPool>(Opts.DrainThreads)) {
+      Pool(std::make_shared<ThreadPool>(Opts.DrainThreads)) {
+  // Demand-mode cluster promotions ride the same pool as the drain
+  // jobs: promotion work is the tail end of the same re-analysis the
+  // drains do, and a second pool would only fight the first for cores.
+  Opts.QOpts.PromotionPool = Pool;
   // Warm tenant onboarding: resolve the persistent store once; every
   // tenant added later gets fresh in-memory caches (isolation of
   // counters and accounting) that all attach to this one store, so a
@@ -538,12 +542,16 @@ std::string TenantRegistry::toStatsJson() const {
     OS << ",\n       \"race_warnings\": " << St.RaceWarnings;
     OS << ",\n       \"snapshot\": {\"index_answers\": "
        << St.Snapshot.IndexAnswers << ", \"fscs_answers\": "
-       << St.Snapshot.FscsAnswers << ", \"andersen_answers\": "
+       << St.Snapshot.FscsAnswers << ", \"fscs_partial_answers\": "
+       << St.Snapshot.FscsPartialAnswers << ", \"andersen_answers\": "
        << St.Snapshot.AndersenAnswers << ", \"steensgaard_answers\": "
        << St.Snapshot.SteensgaardAnswers << ", \"materializations\": "
        << St.Snapshot.Materializations << ", \"cache_adoptions\": "
        << St.Snapshot.CacheAdoptions << ", \"evictions\": "
        << St.Snapshot.Evictions << ", \"resident\": " << St.Snapshot.Resident
+       << ", \"partial_resident\": " << St.Snapshot.PartialResident
+       << ", \"promotions_scheduled\": " << St.Snapshot.PromotionsScheduled
+       << ", \"promotions_completed\": " << St.Snapshot.PromotionsCompleted
        << "}}";
   }
   OS << "\n    ]\n  }\n}\n";

@@ -283,7 +283,13 @@ private:
   void noteQueries(uint64_t N);
 
   ServingOptions Opts;
-  std::unique_ptr<ThreadPool> Pool;
+  /// Shared by drain jobs, background cluster promotions (stamped into
+  /// every tenant's QueryOptions::PromotionPool), and batch query
+  /// evaluation. shared_ptr: snapshots hold a reference, and the
+  /// registry's own reference outlives shutdown(), so a promotion
+  /// worker releasing the last snapshot never destroys the pool from
+  /// inside one of its own workers.
+  std::shared_ptr<ThreadPool> Pool;
 
   mutable std::mutex TenantsMutex; ///< Guards Tenants growth.
   std::vector<std::unique_ptr<Tenant>> Tenants;

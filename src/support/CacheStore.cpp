@@ -191,7 +191,12 @@ void CacheStore::scanSegment(uint32_t SegIdx) {
     return;
   }
 
-  uint64_t Off = SegmentHeaderSize;
+  S.Tail = scanRecords(SegIdx, SegmentHeaderSize, End, /*CountCorrupt=*/true);
+}
+
+uint64_t CacheStore::scanRecords(uint32_t SegIdx, uint64_t Off, uint64_t End,
+                                 bool CountCorrupt) {
+  Segment &S = Segments[SegIdx];
   std::vector<uint8_t> Payload;
   while (Off + RecordHeaderSize <= End) {
     uint8_t RH[RecordHeaderSize];
@@ -208,17 +213,20 @@ void CacheStore::scanSegment(uint32_t SegIdx) {
     uint32_t PayloadLen = R.u32();
     uint32_t Crc = R.u32();
     if (Magic != RecordMagic || Off + RecordHeaderSize + PayloadLen > End) {
-      ++CorruptDropped;
+      if (CountCorrupt)
+        ++CorruptDropped;
       break; // Torn or corrupt: everything from here on is garbage.
     }
     Payload.resize(PayloadLen);
     if (PayloadLen &&
         !preadAll(S.Fd, Payload.data(), PayloadLen, Off + RecordHeaderSize)) {
-      ++CorruptDropped;
+      if (CountCorrupt)
+        ++CorruptDropped;
       break;
     }
     if (recordCrc(RH, Payload.data(), PayloadLen) != Crc) {
-      ++CorruptDropped;
+      if (CountCorrupt)
+        ++CorruptDropped;
       break;
     }
     IndexEntry E;
@@ -232,7 +240,57 @@ void CacheStore::scanSegment(uint32_t SegIdx) {
       LiveBytes += PayloadLen; // First wins across scan order.
     Off += RecordHeaderSize + PayloadLen;
   }
-  S.Tail = Off; // Appends into this segment overwrite any torn tail.
+  return Off; // Appends into this segment overwrite any torn tail.
+}
+
+void CacheStore::rescanTails() {
+  ++TailRescans;
+
+  // Existing segments first (their records were written earliest, which
+  // preserves the open()-scan first-wins order as closely as possible):
+  // index anything appended past the tail recorded so far. A dead
+  // segment (Tail == 0: unrecognized file at open) stays dead.
+  for (uint32_t I = 0; I < Segments.size(); ++I) {
+    Segment &S = Segments[I];
+    if (S.Tail < SegmentHeaderSize)
+      continue;
+    uint64_t End = fileSize(S.Fd);
+    if (End > S.Tail)
+      S.Tail = scanRecords(I, S.Tail, End, /*CountCorrupt=*/false);
+  }
+
+  // Then whole segment files created since open() (a writer that
+  // rotated). A file whose header is not valid yet may still be mid-
+  // creation: skip it without adding, so a later rescan retries.
+  std::vector<uint32_t> NewIndices;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (struct dirent *E = ::readdir(D)) {
+      unsigned Idx = 0;
+      if (std::sscanf(E->d_name, "store-%8u.seg", &Idx) == 1 &&
+          Idx >= NextSegmentIndex)
+        NewIndices.push_back(Idx);
+    }
+    ::closedir(D);
+  }
+  std::sort(NewIndices.begin(), NewIndices.end());
+  for (uint32_t Idx : NewIndices) {
+    std::string Path = segmentPath(Dir, Idx);
+    int Fd = ::open(Path.c_str(), O_RDWR);
+    if (Fd < 0)
+      continue;
+    uint8_t Header[SegmentHeaderSize];
+    uint64_t End = fileSize(Fd);
+    if (End < SegmentHeaderSize || !preadAll(Fd, Header, sizeof(Header), 0) ||
+        std::memcmp(Header, &SegmentMagic, sizeof(SegmentMagic)) != 0) {
+      ::close(Fd);
+      continue;
+    }
+    Segments.push_back(Segment{std::move(Path), Fd, SegmentHeaderSize});
+    NextSegmentIndex = Idx + 1;
+    uint32_t SegIdx = static_cast<uint32_t>(Segments.size() - 1);
+    Segments[SegIdx].Tail =
+        scanRecords(SegIdx, SegmentHeaderSize, End, /*CountCorrupt=*/false);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -244,6 +302,13 @@ std::optional<CacheStore::Record> CacheStore::get(const Digest &K,
   std::lock_guard<std::mutex> Lock(Mu);
   ++Gets;
   auto It = Index.find(K);
+  if (It == Index.end()) {
+    // The key may have been appended by another store instance sharing
+    // this directory after our open() indexed the tails: re-scan before
+    // declaring a miss, so long-lived readers see a writer's appends.
+    rescanTails();
+    It = Index.find(K);
+  }
   if (It == Index.end() || It->second.Family != Family)
     return std::nullopt;
   const IndexEntry &E = It->second;
@@ -412,6 +477,7 @@ CacheStoreCounters CacheStore::counters() const {
   C.Records = Index.size();
   C.LiveBytes = LiveBytes;
   C.CorruptDropped = CorruptDropped;
+  C.TailRescans = TailRescans;
   C.Segments = Segments.size();
   return C;
 }

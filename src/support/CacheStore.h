@@ -161,6 +161,9 @@ struct CacheStoreCounters {
   uint64_t CorruptDropped = 0; ///< Records dropped at open() (torn tail
                                ///< or corruption); rest of segment
                                ///< skipped.
+  uint64_t TailRescans = 0;    ///< Index misses that re-scanned segment
+                               ///< tails for records appended by another
+                               ///< store instance since open().
   uint64_t Segments = 0;
 
   double hitRate() const {
@@ -238,6 +241,23 @@ private:
   /// invalid one. Called under Mu (or before the store is shared).
   void scanSegment(uint32_t SegIdx);
 
+  /// Indexes records of segment \p SegIdx in [Off, End), stopping at the
+  /// first invalid one; returns the offset just past the last valid
+  /// record. \p CountCorrupt distinguishes the open() scan (an invalid
+  /// record is a real torn tail) from tail rescans (the record may be a
+  /// concurrent writer's half-flushed append -- transient, not counted,
+  /// retried on the next rescan). Called under Mu.
+  uint64_t scanRecords(uint32_t SegIdx, uint64_t Off, uint64_t End,
+                       bool CountCorrupt);
+
+  /// Staleness recovery on an index miss: picks up records another
+  /// CacheStore instance (same process or not) appended past the tails
+  /// indexed so far, and discovers whole segment files created since
+  /// open(). Without this a long-lived reader sharing a directory with
+  /// a writer permanently misses everything written after its open().
+  /// Called under Mu.
+  void rescanTails();
+
   /// Appends a record to the active segment, rotating first if needed.
   /// Called under Mu. Returns false if the write failed (store becomes
   /// read-only for safety).
@@ -258,7 +278,7 @@ private:
 
   // Counters (under Mu; the store has no lock-free paths).
   uint64_t Gets = 0, GetHits = 0, Puts = 0, PutDuplicates = 0;
-  uint64_t CorruptDropped = 0, LiveBytes = 0;
+  uint64_t CorruptDropped = 0, LiveBytes = 0, TailRescans = 0;
 };
 
 } // namespace support

@@ -256,6 +256,48 @@ TEST(CacheStore, SegmentRotationAndCompact) {
   EXPECT_EQ(S->counters().CorruptDropped, 0u);
 }
 
+TEST(CacheStore, ReaderSeesWriterAppendsAfterOpen) {
+  // Staleness regression: a reader that opened first must observe
+  // records a second store instance appends afterwards -- both appends
+  // into the segment the reader already indexed (tail rescan) and
+  // appends into segment files created after its open().
+  TempDir Dir;
+  support::CacheStoreOptions Opts;
+  Opts.MaxSegmentBytes = 256; // Force the writer to rotate.
+
+  auto Writer = CacheStore::open(Dir.Path, Opts);
+  ASSERT_TRUE(Writer->put(key(1, 1), 1, 1, payload({1})));
+
+  auto Reader = CacheStore::open(Dir.Path, Opts);
+  ASSERT_TRUE(Reader->get(key(1, 1), 1).has_value());
+  EXPECT_EQ(Reader->counters().TailRescans, 0u);
+
+  // Tail append into the already-indexed segment.
+  ASSERT_TRUE(Writer->put(key(2, 2), 1, 1, payload({2, 2})));
+  auto R2 = Reader->get(key(2, 2), 1);
+  ASSERT_TRUE(R2.has_value()) << "tail rescan must find the new record";
+  EXPECT_EQ(R2->Payload, payload({2, 2}));
+  EXPECT_EQ(Reader->counters().TailRescans, 1u);
+
+  // Enough records to rotate the writer into fresh segment files.
+  for (uint64_t I = 10; I < 26; ++I)
+    ASSERT_TRUE(Writer->put(key(I, I), 1, 1,
+                            std::vector<uint8_t>(40, uint8_t(I))));
+  ASSERT_GT(Writer->counters().Segments, 1u) << "rotation did not happen";
+  for (uint64_t I = 10; I < 26; ++I) {
+    auto R = Reader->get(key(I, I), 1);
+    ASSERT_TRUE(R.has_value()) << "record " << I << " in a new segment";
+    EXPECT_EQ(R->Payload, std::vector<uint8_t>(40, uint8_t(I))) << I;
+  }
+
+  auto C = Reader->counters();
+  EXPECT_GE(C.TailRescans, 2u);
+  EXPECT_EQ(C.CorruptDropped, 0u)
+      << "rescans must not count live appends as corruption";
+  // A genuinely absent key still misses (after one more rescan).
+  EXPECT_FALSE(Reader->get(key(99, 99), 1).has_value());
+}
+
 //===--------------------------------------------------------------------===//
 // Fault injection: every corruption is a clean miss
 //===--------------------------------------------------------------------===//

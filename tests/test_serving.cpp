@@ -367,6 +367,34 @@ TEST(Serving, CrossTenantEvictionKeepsAnswersIdentical) {
                           Capped.stats(K - 1).Snapshot.Resident);
 }
 
+TEST(Serving, TrimResidentFloorsAtOneLikeMaterialize) {
+  // LRU floor invariant: materialize() floors the cap at one resident
+  // entry, so trimResident(0) -- the shape enforceGlobalBudget produces
+  // when a tenant's overshoot exceeds its residency -- must not evict
+  // to zero underneath it. The floor keeps the most-recent entry.
+  workload::GeneratorConfig Cfg = editableConfig(10, /*Seed=*/770);
+  serving::TenantRegistry Reg(servingOptions());
+  ASSERT_EQ(Reg.addTenant("floor"), 0u);
+  workload::EditState St = workload::initialEditState(Cfg);
+  ASSERT_EQ(Reg.submitEdit(0, compileVersion(Cfg, St), "", 0),
+            serving::SubmitStatus::Accepted);
+  Reg.waitIdle();
+
+  std::shared_ptr<const query::QuerySnapshot> Snap = Reg.snapshot(0);
+  ASSERT_TRUE(Snap);
+  std::vector<query::MayAliasQuery> Batch = pointerPairs(Snap->program());
+  std::vector<uint8_t> Before = Reg.evalMayAlias(0, Batch);
+  ASSERT_GT(Snap->stats().Resident, 1u)
+      << "need several resident clusters to make the trim meaningful";
+
+  Snap->trimResident(0);
+  EXPECT_EQ(Snap->stats().Resident, 1u)
+      << "trim to zero must stop at the same floor materialize() keeps";
+
+  // Evicted analyses re-materialize; verdicts are unchanged.
+  EXPECT_EQ(Reg.evalMayAlias(0, Batch), Before);
+}
+
 //===--------------------------------------------------------------------===//
 // Per-driver Statistics registries (the re-entrancy fix)
 //===--------------------------------------------------------------------===//
